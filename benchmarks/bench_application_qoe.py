@@ -1,0 +1,33 @@
+"""Benchmarks for §6.1: end-to-end application performance (Figs. 13-15).
+
+The paper runs three service versions side by side for sixty days; the
+bench simulates one full day (coarse grid) for Fig. 13's averages and a
+fine-grained quarter day for the stall-duration and audio-score buckets.
+"""
+
+from repro.experiments import fig13_qoe, fig14_15_badcases
+
+
+def test_fig13_overall_qoe(run_once, emit):
+    cmp_ = run_once(lambda: fig13_qoe.run(days=1.0, epoch_s=900.0,
+                                          eval_step_s=30.0))
+    emit("fig13", cmp_.lines())
+    # Paper: -77% stall ratio, +12% fps, bad audio -65.2%; XRON close to
+    # premium-only everywhere.
+    assert cmp_.reduction_vs("stall_ratio") < -0.5
+    assert cmp_.reduction_vs("mean_fps") > 0.02
+    assert cmp_.reduction_vs("bad_audio_fraction") < -0.5
+    xron = cmp_.summaries["XRON"]
+    premium = cmp_.summaries["Premium only"]
+    assert xron.stall_ratio - premium.stall_ratio < 0.02
+
+
+def test_fig14_15_bad_cases(run_once, emit):
+    result = run_once(lambda: fig14_15_badcases.run(days=0.25))
+    emit("fig14_15", result.lines())
+    cmp_ = result.comparison
+    # Paper Fig. 14: XRON cuts >=2 s stalls by 49.1%.
+    assert cmp_.long_stall_reduction() < -0.4
+    # Paper Fig. 15: far fewer score-1 audio samples.
+    bad = result.low_audio()
+    assert bad["XRON"][0] < bad["Internet only"][0] * 0.6

@@ -1,0 +1,35 @@
+"""Benchmark for §6.3: the Fig. 17 cost analysis (all four panels)."""
+
+import numpy as np
+
+from repro.experiments import fig17_cost
+
+
+def test_fig17_cost_analysis(run_once, emit):
+    analysis = run_once(lambda: fig17_cost.run(hours=8.0))
+    emit("fig17", analysis.lines(), analysis)
+
+    # (a) Paper: normal paths 1.19 hops, reaction paths 1.04, 94% <= 2.
+    assert 1.0 <= analysis.normal_hop_mean < 1.6
+    assert 1.0 <= analysis.reaction_hop_mean < 1.3
+    assert analysis.fraction_paths_le_2_hops > 0.85
+
+    # (b) Paper: ~3% premium share; XRON must keep it a small minority.
+    assert analysis.premium_share < 0.25
+
+    # (c) Paper: 57% fewer containers than fixed allocation, close to
+    # the oracle.
+    assert analysis.container_reduction_vs_fixed > 0.35
+    xron_mean = float(np.mean(analysis.containers["XRON"]))
+    optimal_mean = float(np.mean(analysis.containers["Optimal Allocation"]))
+    assert xron_mean < 3.0 * optimal_mean  # headroom, but the same regime
+
+    # (d) Paper: premium-only 4.73x XRON; XRON 1.37x Internet-only.
+    assert analysis.premium_over_xron > 2.5
+    assert 1.0 < analysis.xron_over_internet < 3.0
+
+    # Per-pair CDF property the paper states outright: every pair is
+    # cheaper under XRON than under premium-only.
+    xron_total = analysis.total_cost["XRON"]
+    premium_total = analysis.total_cost["Premium only"]
+    assert xron_total < premium_total

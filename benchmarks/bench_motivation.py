@@ -1,0 +1,83 @@
+"""Benchmarks for the §2 motivation measurements (Figs. 1-5, 7-9, 11-12).
+
+Each regenerates the figure's data series/statistics and asserts the
+paper's qualitative target.
+"""
+
+import numpy as np
+
+from repro.experiments import (fig01_02_linkstates, fig03_badtime,
+                               fig04_pricing, fig05_demand, fig07_similarity,
+                               fig08_asymmetry, fig09_degradations,
+                               fig11_weekly, fig12_prediction)
+
+
+def test_fig01_02_link_states(run_once, emit):
+    result = run_once(lambda: fig01_02_linkstates.run())
+    emit("fig01_02", result.lines(), result)
+    assert (result.avg_latency_premium.mean()
+            < result.avg_latency_internet.mean())
+    assert result.max_example_latency_ms > 5000.0  # paper: 20,518 ms
+
+
+def test_fig03_bad_time_cdf(run_once, emit):
+    result = run_once(lambda: fig03_badtime.run())
+    emit("fig03", result.lines())
+    # Paper: 20% of Internet links exceed 10% high-latency time and 22%
+    # high-loss time; premium links are near zero.
+    assert 0.05 < result.fraction_of_links_over(
+        result.internet_high_latency, 0.10) < 0.45
+    assert 0.05 < result.fraction_of_links_over(
+        result.internet_high_loss, 0.22) < 0.50
+    assert result.premium_high_loss.max() < 0.01
+
+
+def test_fig04_pricing_cdf(run_once, emit):
+    result = run_once(lambda: fig04_pricing.run())
+    emit("fig04", result.lines())
+    assert 7.0 < result.median_ratio < 8.2   # paper: 7.6x
+    assert 10.0 < result.max_ratio < 11.4 + 1e-9  # paper: 11.4x
+
+
+def test_fig05_dynamic_demand(run_once, emit):
+    result = run_once(lambda: fig05_demand.run())
+    emit("fig05", result.lines(), result)
+    assert result.total_peak_ratio > 40      # paper: 145x
+    assert result.example_peak_ratio > 150   # paper: 247x
+    assert result.example_surge_5min > 2.0   # paper: 3.4x in five minutes
+
+
+def test_fig07_similarity(run_once, emit):
+    result = run_once(lambda: fig07_similarity.run())
+    emit("fig07", result.lines())
+    assert result.min_similarity >= 0.70     # paper: >= 77%
+    assert result.fraction_over_90 > 0.6     # paper: 80% of pairs >= 90%
+
+
+def test_fig08_asymmetry(run_once, emit):
+    result = run_once(lambda: fig08_asymmetry.run())
+    emit("fig08", result.lines())
+    assert result.example_fraction > 0.6     # paper: >60% of time differ
+
+
+def test_fig09_degradation_durations(run_once, emit):
+    result = run_once(lambda: fig09_degradations.run(window_s=86400.0))
+    emit("fig09", result.lines())
+    assert 30 < result.internet_short_long_ratio < 500  # paper: ~100x
+
+
+def test_fig11_weekly_pattern(run_once, emit):
+    result = run_once(lambda: fig11_weekly.run())
+    emit("fig11", result.lines())
+    mean_peaks = np.mean(np.array(result.daily_peak_hours()), axis=0) + 8.0
+    # Paper: peaks near 10:00, 16:00, 20:00 local.
+    assert abs(mean_peaks[0] - 10.0) < 1.5
+    assert abs(mean_peaks[1] - 16.0) < 1.5
+    assert abs(mean_peaks[2] - 20.0) < 1.5
+
+
+def test_fig12_prediction(run_once, emit):
+    result = run_once(lambda: fig12_prediction.run())
+    emit("fig12", result.lines(), result)
+    assert result.correlation > 0.8
+    assert result.mean_abs_error_of_peak < 0.10

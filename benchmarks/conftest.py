@@ -1,0 +1,49 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one paper table/figure via
+``repro.experiments.*`` and
+
+* reports its wall-clock time through pytest-benchmark (single round —
+  these are experiments, not microbenchmarks),
+* writes the regenerated rows/series to ``benchmarks/results/<id>.txt``
+  and echoes them to stdout (visible with ``pytest -s``), and
+* exports the raw plottable series to ``benchmarks/results/csv/`` for
+  result types registered with ``repro.experiments.export``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable, List
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def emit():
+    """Write experiment output lines (and CSV data, when the result type
+    is registered with the exporter) to the results directory."""
+
+    def _emit(name: str, lines: List[str], result=None) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join(lines) + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        if result is not None:
+            from repro.experiments.export import write_csv
+            write_csv(result, RESULTS_DIR / "csv", prefix=name)
+        print()
+        print(text)
+
+    return _emit
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(fn: Callable):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run

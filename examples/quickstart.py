@@ -1,0 +1,58 @@
+"""Quickstart: build an XRON deployment and run one busy hour.
+
+Builds the eleven-region synthetic underlay and the DingTalk-like demand
+model, runs the full XRON system (hybrid links, asymmetric forwarding,
+fast reaction, proactive scaling) for an hour of the morning peak, and
+prints what a service operator would look at: QoE, network tails, link
+usage and the bill.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import SimulationConfig, XRONSystem, xron
+from repro.underlay.config import UnderlayConfig
+
+
+def main() -> None:
+    system = XRONSystem(
+        seed=42,
+        underlay_config=UnderlayConfig(horizon_s=12 * 3600.0),
+        sim_config=SimulationConfig(epoch_s=300.0, eval_step_s=10.0,
+                                    seed=42))
+    print(f"regions: {', '.join(system.underlay.codes)}")
+    print("simulating 60 minutes starting 09:00 UTC ...")
+    result = system.run(variant=xron(), start_hour=9.0, hours=1.0)
+
+    qoe = result.qoe_summary()
+    print()
+    print("application QoE")
+    print(f"  video stall ratio : {qoe.stall_ratio:.4f}")
+    print(f"  mean frame rate   : {qoe.mean_fps:.1f} fps")
+    print(f"  audio fluency     : {qoe.mean_fluency:.2f} / 5")
+
+    lat = result.latency_percentiles(weighted=False)
+    loss = result.loss_percentiles(weighted=False)
+    print()
+    print("network (full mesh, per-pair samples)")
+    print(f"  latency avg/p99/p99.9 : "
+          f"{lat['average']:.0f} / {lat['99%']:.0f} / {lat['99.9%']:.0f} ms")
+    print(f"  loss    avg/p99.9     : "
+          f"{loss['average']:.3f}% / {loss['99.9%']:.3f}%")
+
+    bill = result.ledger.breakdown()
+    print()
+    print("operations")
+    print(f"  premium traffic share : "
+          f"{result.premium_traffic_share() * 100:.1f}%"
+          f"  (fast reaction active {result.backup_fraction() * 100:.1f}% "
+          f"of traffic-time)")
+    print(f"  gateways at end       : "
+          f"{result.containers[:, -1].sum()} containers across "
+          f"{len(system.underlay.codes)} regions")
+    print(f"  hour's network bill   : {bill.network_cost:.1f} units "
+          f"(internet {bill.internet_cost:.1f} + premium "
+          f"{bill.premium_cost:.1f}), containers {bill.container_cost:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables `pip install -e . --no-use-pep517` in offline
+environments that lack the `wheel` package (PEP 660 editable installs
+require bdist_wheel). All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Statistics helpers shared by tests, benchmarks, and experiments."""
+
+from repro.analysis.stats import (cdf_points, percentile_row,
+                                  weighted_percentiles, resample_to_grid,
+                                  normalize)
+
+__all__ = [
+    "cdf_points",
+    "percentile_row",
+    "weighted_percentiles",
+    "resample_to_grid",
+    "normalize",
+]

@@ -1,0 +1,99 @@
+"""Terminal-friendly plots: sparklines, CDF curves, and series panels.
+
+The experiment runner works in headless environments, so the figures
+that are *time series* or *CDFs* in the paper get a lightweight ASCII
+rendering next to their numeric tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60,
+              log_scale: bool = False) -> str:
+    """One-line intensity plot of a series (resampled to `width` columns)."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return ""
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    if log_scale:
+        v = np.log10(np.maximum(v, 1e-12))
+    # Resample by block max (spikes must survive downsampling).
+    idx = np.linspace(0, v.size, width + 1).astype(int)
+    blocks = np.array([v[a:b].max() if b > a else v[min(a, v.size - 1)]
+                       for a, b in zip(idx[:-1], idx[1:])])
+    lo, hi = float(blocks.min()), float(blocks.max())
+    if hi - lo < 1e-12:
+        return _SPARK_LEVELS[1] * width
+    norm = (blocks - lo) / (hi - lo)
+    chars = (norm * (len(_SPARK_LEVELS) - 1)).round().astype(int)
+    return "".join(_SPARK_LEVELS[c] for c in chars)
+
+
+def series_panel(label: str, values: Sequence[float], width: int = 60,
+                 unit: str = "", log_scale: bool = False) -> List[str]:
+    """A labelled sparkline with min/max annotations."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return [f"{label}: (no data)"]
+    line = sparkline(v, width, log_scale)
+    scale = " (log)" if log_scale else ""
+    return [f"{label}{scale}",
+            f"  [{line}]",
+            f"  min {v.min():.4g}{unit}   max {v.max():.4g}{unit}   "
+            f"mean {v.mean():.4g}{unit}"]
+
+
+def ascii_cdf(values: Sequence[float], width: int = 56, height: int = 10,
+              label: Optional[str] = None,
+              log_x: bool = False) -> List[str]:
+    """A small CDF plot: fraction of samples <= x, drawn with '#'."""
+    v = np.sort(np.asarray(values, dtype=float))
+    if v.size == 0:
+        return ["(no data)"]
+    if width < 2 or height < 2:
+        raise ValueError("plot area too small")
+    x = np.log10(np.maximum(v, 1e-12)) if log_x else v
+    lo, hi = float(x[0]), float(x[-1])
+    span = hi - lo if hi > lo else 1.0
+    # For each column, the CDF value at that x position.
+    cols = lo + (np.arange(width) + 0.5) / width * span
+    fractions = np.searchsorted(x, cols, side="right") / x.size
+    rows: List[str] = []
+    if label:
+        rows.append(label)
+    for level in range(height, 0, -1):
+        threshold = level / height
+        line = "".join("#" if f >= threshold - 1e-12 else " "
+                       for f in fractions)
+        marker = f"{threshold:4.2f}|"
+        rows.append(marker + line)
+    x_lo = 10 ** lo if log_x else lo
+    x_hi = 10 ** hi if log_x else hi
+    axis = f"    +{'-' * width}"
+    rows.append(axis)
+    pad = max(0, width - 24)
+    middle = f"{'(log x)' if log_x else '':^{pad}}" if pad else ""
+    rows.append(f"     {x_lo:<12.4g}{middle}{x_hi:>12.4g}")
+    return rows
+
+
+def histogram_bar(counts: Sequence[int], labels: Sequence[str],
+                  width: int = 40) -> List[str]:
+    """Horizontal bars for bucketed counts (e.g. Fig. 9, Fig. 18)."""
+    c = np.asarray(counts, dtype=float)
+    if c.size != len(labels):
+        raise ValueError("one label per bucket required")
+    peak = c.max() if c.size and c.max() > 0 else 1.0
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for value, label in zip(c, labels):
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{label:<{label_w}}  {bar} {int(value)}")
+    return lines

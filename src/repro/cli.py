@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiments`` — regenerate paper tables/figures (wraps the
+  experiments runner; supports ``--full`` and ``--only``).
+* ``run`` — simulate a window for one system variant and print the
+  operator summary (QoE, tails, bill).
+* ``demo`` — the event-driven deployment, minute-scale, live mechanisms.
+* ``info`` — the deployment at a glance (regions, links, pricing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import runner as experiments_runner
+
+VARIANTS = {
+    "xron": "xron",
+    "internet-only": "internet_only",
+    "premium-only": "premium_only",
+    "xron-basic": "xron_basic",
+    "xron-premium": "xron_premium",
+    "xron-symmetric": "xron_symmetric",
+}
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    argv = []
+    if args.full:
+        argv.append("--full")
+    if args.only:
+        argv += ["--only", *args.only]
+    return experiments_runner.main(argv)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core import SimulationConfig, XRONSystem, variants
+    from repro.underlay.config import UnderlayConfig
+
+    make = getattr(variants, VARIANTS[args.variant])
+    horizon = (args.start_hour + args.hours) * 3600.0 + 3600.0
+    system = XRONSystem(
+        seed=args.seed,
+        underlay_config=UnderlayConfig(horizon_s=max(horizon, 2 * 86400.0)),
+        sim_config=SimulationConfig(epoch_s=args.epoch, eval_step_s=args.step,
+                                    seed=args.seed))
+    print(f"simulating {args.hours:g} h of '{args.variant}' from "
+          f"{args.start_hour:g}:00 UTC (seed {args.seed}) ...")
+    result = system.run(variant=make(), start_hour=args.start_hour,
+                        hours=args.hours)
+    qoe = result.qoe_summary()
+    lat = result.latency_percentiles(weighted=False)
+    loss = result.loss_percentiles(weighted=False)
+    bill = result.ledger.breakdown()
+    print(f"stall ratio {qoe.stall_ratio:.4f} | fps {qoe.mean_fps:.1f} | "
+          f"fluency {qoe.mean_fluency:.2f}")
+    print(f"latency avg/p99/p99.9: {lat['average']:.0f}/{lat['99%']:.0f}/"
+          f"{lat['99.9%']:.0f} ms | loss p99.9: {loss['99.9%']:.3f}%")
+    print(f"premium share {result.premium_traffic_share() * 100:.1f}% | "
+          f"network bill {bill.network_cost:.1f} | containers "
+          f"{bill.container_cost:.1f}")
+    return 0
+
+
+def _run_demo(args: argparse.Namespace) -> int:
+    from repro.core.config import SimulationConfig
+    from repro.core.eventsim import EventDrivenXRON
+    from repro.traffic.demand import DemandModel
+    from repro.underlay.config import UnderlayConfig
+    from repro.underlay.regions import default_regions
+    from repro.underlay.topology import build_underlay
+
+    regions = default_regions()
+    underlay = build_underlay(regions, UnderlayConfig(horizon_s=6 * 3600.0),
+                              seed=args.seed)
+    demand = DemandModel(regions, seed=args.seed)
+    system = EventDrivenXRON(
+        underlay, demand,
+        sim_config=SimulationConfig(epoch_s=60.0, eval_step_s=10.0,
+                                    seed=args.seed))
+    print(f"event-driven run: {args.minutes:g} min across "
+          f"{len(regions)} regions ...")
+    result = system.run(2 * 3600.0, args.minutes * 60.0)
+    print(f"events {result.events_processed:,} | epochs "
+          f"{len(result.control_outputs)} | detections {result.detections}"
+          f" | probe MB {result.probe_bytes / 1e6:.0f}")
+    for pair, record in result.sessions.items():
+        if not record.times:
+            continue
+        lat = record.latency_array()
+        print(f"  {pair[0]}->{pair[1]}: {len(record.times)} samples, "
+              f"avg {lat.mean():.0f} ms, backup "
+              f"{record.backup_fraction() * 100:.1f}%")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.underlay.linkstate import LinkType
+    from repro.underlay.topology import build_underlay
+
+    u = build_underlay(seed=args.seed)
+    print(f"regions ({len(u.regions)}):")
+    for r in u.regions:
+        print(f"  {r.code}  {r.name:<12} UTC{r.utc_offset:+g}  "
+              f"{r.continent}")
+    lat_i = [lk.base_latency_ms for lk in u.links_of_type(LinkType.INTERNET)]
+    lat_p = [lk.base_latency_ms for lk in u.links_of_type(LinkType.PREMIUM)]
+    print(f"directed links per tier: {len(lat_i)}")
+    print(f"base latency, Internet: median {np.median(lat_i):.0f} ms, "
+          f"premium: {np.median(lat_p):.0f} ms")
+    ratios = u.pricing.premium_to_internet_ratios()
+    print(f"premium fee multiple: median {np.median(ratios):.1f}x, "
+          f"max {ratios.max():.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments",
+                           help="regenerate paper tables/figures")
+    p_exp.add_argument("--full", action="store_true")
+    p_exp.add_argument("--only", nargs="*", default=None)
+    p_exp.set_defaults(fn=_cmd_experiments)
+
+    p_run = sub.add_parser("run", help="simulate one system variant")
+    p_run.add_argument("--variant", choices=sorted(VARIANTS),
+                       default="xron")
+    p_run.add_argument("--hours", type=float, default=1.0)
+    p_run.add_argument("--start-hour", type=float, default=9.0)
+    p_run.add_argument("--epoch", type=float, default=300.0)
+    p_run.add_argument("--step", type=float, default=10.0)
+    p_run.add_argument("--seed", type=int, default=42)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_demo = sub.add_parser("demo", help="event-driven deployment demo")
+    p_demo.add_argument("--minutes", type=float, default=3.0)
+    p_demo.add_argument("--seed", type=int, default=11)
+    p_demo.set_defaults(fn=_run_demo)
+
+    p_info = sub.add_parser("info", help="deployment at a glance")
+    p_info.add_argument("--seed", type=int, default=1)
+    p_info.set_defaults(fn=_cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

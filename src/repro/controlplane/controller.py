@@ -1,0 +1,135 @@
+"""The XRON controller: one control loop over NIB + SIB (§5).
+
+Each epoch (five minutes in production) the controller:
+
+1. ingests the demand measured over the last epoch into the SIB and
+   predicts the next epoch's demand (DTFT + production rule, §5.1);
+2. decomposes the predicted matrix into schedulable streams;
+3. runs Algorithm 1 against the *current* topology (step 1, §5.3);
+4. runs capacity control to add/remove gateways (step 2, §5.3);
+5. generates fast-reaction plans for every path (Algorithm 2, §5.4);
+6. emits forwarding tables, reaction plans, and scaling targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.controlplane.capacity import CapacityDecision, capacity_control
+from repro.controlplane.model import ControlConfig
+from repro.controlplane.nib import NetworkInformationBase
+from repro.controlplane.pathcontrol import PathControlResult, path_control
+from repro.controlplane.reactionplan import ReactionPlan, generate_reaction_plans
+from repro.controlplane.sib import StreamInformationBase
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.streams import Stream, StreamWorkload
+from repro.underlay.linkstate import LinkType
+from repro.underlay.pricing import PricingModel
+
+
+@dataclass
+class ControlOutput:
+    """Everything the controller pushes to the data plane for one epoch."""
+
+    epoch_start: float
+    path_result: PathControlResult
+    capacity: CapacityDecision
+    reaction_plans: Dict[Tuple[int, str], ReactionPlan]
+    predicted_matrix: TrafficMatrix
+    streams: List[Stream]
+
+
+class Controller:
+    """Logically centralised control plane."""
+
+    def __init__(self, codes: List[str], config: Optional[ControlConfig] = None,
+                 pricing: Optional[PricingModel] = None, *,
+                 symmetric_only: bool = False,
+                 premium_only: bool = False,
+                 internet_only: bool = False,
+                 predictor_harmonics: int = 100,
+                 nib_window: int = 1,
+                 robust_percentile: Optional[float] = None,
+                 seed: int = 0):
+        """`nib_window` > 1 keeps that many reports per link;
+        `robust_percentile` makes planning use the window's pessimistic
+        percentile state instead of the last sample (flap damping)."""
+        if premium_only and internet_only:
+            raise ValueError("choose at most one of premium/internet only")
+        if robust_percentile is not None and nib_window < 2:
+            raise ValueError("robust planning needs nib_window >= 2")
+        self.codes = list(codes)
+        self.config = config if config is not None else ControlConfig()
+        self.pricing = pricing
+        self.symmetric_only = symmetric_only
+        self.premium_only = premium_only
+        self.internet_only = internet_only
+        self.robust_percentile = robust_percentile
+        self.nib = NetworkInformationBase(window=nib_window)
+        self.sib = StreamInformationBase(self.codes,
+                                         n_harmonics=predictor_harmonics)
+        self._workload = StreamWorkload(np.random.default_rng(seed))
+        self.epochs_run = 0
+
+    # ------------------------------------------------------------------ api
+    def link_state(self, src: str, dst: str,
+                   link_type: LinkType) -> Tuple[float, float]:
+        """The state function handed to the algorithms.
+
+        Variants restrict the topology: the Internet-only / premium-only
+        baselines see the disallowed tier as unusable (infinite latency,
+        certain loss); the symmetric-only ablation sees round-trip
+        averaged states in both directions.
+        """
+        if self.premium_only and link_type is LinkType.INTERNET:
+            return (float("inf"), 1.0)
+        if self.internet_only and link_type is LinkType.PREMIUM:
+            return (float("inf"), 1.0)
+        if self.symmetric_only:
+            fwd = self._one_direction(src, dst, link_type)
+            rev = self._one_direction(dst, src, link_type)
+            if fwd is None or rev is None:
+                return (float("inf"), 1.0)
+            return ((fwd[0] + rev[0]) / 2.0, (fwd[1] + rev[1]) / 2.0)
+        state = self._one_direction(src, dst, link_type)
+        return state if state is not None else (float("inf"), 1.0)
+
+    def _one_direction(self, src: str, dst: str,
+                       link_type: LinkType) -> Optional[Tuple[float, float]]:
+        if self.robust_percentile is not None:
+            try:
+                return self.nib.robust_state(src, dst, link_type,
+                                             self.robust_percentile)
+            except KeyError:
+                return None
+        report = self.nib.get(src, dst, link_type)
+        if report is None:
+            return None
+        return (report.latency_ms, report.loss_rate)
+
+    def run_epoch(self, now: float, observed_matrix: TrafficMatrix,
+                  gateways: Dict[str, int]) -> ControlOutput:
+        """One full control computation.
+
+        `observed_matrix` is the demand measured over the epoch that just
+        ended; `gateways` the current per-region ready container counts.
+        The NIB must already hold fresh link reports (the data plane's
+        monitoring pushes them continuously).
+        """
+        self.sib.record_epoch(observed_matrix)
+        predicted = self.sib.predicted_matrix()
+        streams = self._workload.decompose(predicted)
+
+        r_cur = path_control(streams, self.codes, self.link_state,
+                             self.config, gateways=gateways,
+                             fees=self.pricing)
+        decision = capacity_control(streams, self.codes, self.link_state,
+                                    self.config, gateways, r_cur,
+                                    fees=self.pricing)
+        plans = generate_reaction_plans(r_cur, self.link_state,
+                                        self.config.loss_ms_penalty)
+        self.epochs_run += 1
+        return ControlOutput(now, r_cur, decision, plans, predicted, streams)

@@ -1,0 +1,155 @@
+"""Problem model: paths, constraints, and the objective (§5.2, Table 1).
+
+The optimisation: choose forwarding paths P_{m,n} (over Internet and
+premium links, possibly via relay regions) and container counts N_i to
+
+    minimise  w_lat * UtilLat + w_cost * UtilCost
+
+subject to per-path latency and loss limits, per-region container
+processing capacity B_c * N_i, per-region Internet bandwidth B_I^i,
+per-pair premium bandwidth B_d^{i,j}, and the container quota N_max.
+The exact problem is NP-hard (multi-commodity flow with integral paths);
+`pathcontrol` and `capacity` implement the paper's scalable heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+from repro.underlay.linkstate import LinkType
+
+#: One hop of an overlay path: (src region, dst region, link type).
+PathHop = Tuple[str, str, LinkType]
+
+#: Signature of a link-state lookup: (src, dst, type) -> (latency, loss).
+LinkStateFn = Callable[[str, str, LinkType], Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class OverlayPath:
+    """A forwarding path from a source region to a destination region."""
+
+    hops: Tuple[PathHop, ...]
+
+    def __post_init__(self) -> None:
+        if not self.hops:
+            raise ValueError("a path needs at least one hop")
+        for (a, b), (c, __) in zip(
+                [(h[0], h[1]) for h in self.hops[:-1]],
+                [(h[0], h[1]) for h in self.hops[1:]]):
+            if b != c:
+                raise ValueError(f"disconnected hops in path {self.hops}")
+
+    @property
+    def src(self) -> str:
+        return self.hops[0][0]
+
+    @property
+    def dst(self) -> str:
+        return self.hops[-1][1]
+
+    @property
+    def regions(self) -> Tuple[str, ...]:
+        """All regions the path touches, source first."""
+        return (self.hops[0][0],) + tuple(h[1] for h in self.hops)
+
+    @property
+    def relay_count(self) -> int:
+        """Intermediate regions (the paper's 'hop count' metric counts
+        overlay hops; a direct path has relay_count 0)."""
+        return len(self.hops) - 1
+
+    @property
+    def link_types(self) -> Tuple[LinkType, ...]:
+        return tuple(h[2] for h in self.hops)
+
+    def uses_premium(self) -> bool:
+        return any(t is LinkType.PREMIUM for t in self.link_types)
+
+    @staticmethod
+    def direct(src: str, dst: str, link_type: LinkType) -> "OverlayPath":
+        return OverlayPath(((src, dst, link_type),))
+
+    @staticmethod
+    def via(regions: Sequence[str], link_type: LinkType) -> "OverlayPath":
+        """A path through `regions` using one link type throughout."""
+        if len(regions) < 2:
+            raise ValueError("need at least src and dst")
+        hops = tuple((regions[i], regions[i + 1], link_type)
+                     for i in range(len(regions) - 1))
+        return OverlayPath(hops)
+
+
+def path_latency_ms(path: OverlayPath, state: LinkStateFn) -> float:
+    """End-to-end latency: the sum of hop latencies (Table 1's Lat(P))."""
+    return float(sum(state(a, b, t)[0] for (a, b, t) in path.hops))
+
+
+def path_loss_rate(path: OverlayPath, state: LinkStateFn) -> float:
+    """End-to-end loss: 1 - prod(1 - loss_hop) (Table 1's constraint)."""
+    survive = 1.0
+    for (a, b, t) in path.hops:
+        survive *= 1.0 - state(a, b, t)[1]
+    return float(1.0 - survive)
+
+
+@dataclass
+class ControlConfig:
+    """Tunables of the control algorithms and the §5.2 model."""
+
+    #: Processing capacity of one gateway container, Mbps (B_c).
+    container_capacity_mbps: float = 1000.0
+    #: Container quota per region (N_max).
+    max_containers: int = 64
+    #: Per-region Internet egress bandwidth limit, Mbps (B_I^i).
+    internet_bandwidth_mbps: float = 40000.0
+    #: Per-pair premium bandwidth limit, Mbps (B_d^{i,j}).
+    premium_bandwidth_mbps: float = 8000.0
+
+    #: Path latency limit: max(floor, multiple of the best direct latency).
+    latency_limit_floor_ms: float = 400.0
+    latency_limit_stretch: float = 1.6
+    #: Path loss-rate limit (the paper's quality threshold).
+    loss_limit: float = 0.005
+    #: Paths are capped at this many overlay hops (94% of paper paths <= 2).
+    max_hops: int = 3
+
+    #: Objective weights (w_lat, w_cost).
+    weight_latency: float = 1.0
+    weight_cost: float = 1.0
+    #: Cost-vs-latency exchange rate inside the shortest-path edge weight:
+    #: ms of latency one normalised fee unit is worth.  This is what makes
+    #: the hybrid prefer cheap Internet links when their quality suffices.
+    cost_ms_per_fee: float = 120.0
+    #: Latency-equivalent penalty per unit loss inside edge weights
+    #: (1% loss ~ 25 ms of badness).
+    loss_ms_penalty: float = 2500.0
+
+    #: Headroom multiplier when converting traffic to container counts.
+    capacity_headroom: float = 1.15
+
+    def latency_limit_ms(self, direct_premium_latency_ms: float) -> float:
+        """Per-pair latency limit (Lat_Limit_{m,n}).
+
+        Far-apart region pairs cannot meet a flat 400 ms two-way budget,
+        so the limit is the larger of the floor and a stretch of the best
+        achievable (direct premium) latency.
+        """
+        return max(self.latency_limit_floor_ms,
+                   self.latency_limit_stretch * direct_premium_latency_ms)
+
+
+@dataclass
+class ObjectiveBreakdown:
+    """Evaluated objective terms for one control output."""
+
+    util_lat: float
+    util_cost: float
+    weight_latency: float
+    weight_cost: float
+
+    @property
+    def total(self) -> float:
+        return (self.weight_latency * self.util_lat
+                + self.weight_cost * self.util_cost)

@@ -1,0 +1,123 @@
+"""Network Information Base (NIB).
+
+The NIB stores network-level information (§3): per-directed-link states
+(latency, loss) reported by gateway monitoring, and link pricing fetched
+from the cloud platform.  The controller reads a consistent snapshot when
+it computes forwarding tables.
+
+Beyond the latest report, the NIB can keep a short *window* of reports
+per link and serve robust (percentile) state estimates: planning against
+a link's recent p90 loss instead of its last sample avoids routing onto
+links that merely look good this instant — a standard flap-damping
+technique the stability ablation quantifies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.underlay.linkstate import LinkType
+
+
+@dataclass(frozen=True)
+class LinkReport:
+    """One monitoring report for a directed link of one type."""
+
+    src: str
+    dst: str
+    link_type: LinkType
+    latency_ms: float
+    loss_rate: float
+    reported_at: float
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0:
+            raise ValueError(f"negative latency {self.latency_ms}")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss rate {self.loss_rate} outside [0, 1]")
+
+
+class NetworkInformationBase:
+    """Recent link states for every directed link, plus pricing handles."""
+
+    def __init__(self, max_staleness_s: float = 60.0, window: int = 1):
+        if window < 1:
+            raise ValueError(f"window must be >= 1 report, got {window}")
+        self.max_staleness_s = float(max_staleness_s)
+        self.window = int(window)
+        self._reports: Dict[Tuple[str, str, LinkType],
+                            Deque[LinkReport]] = {}
+
+    def update(self, report: LinkReport) -> None:
+        """Ingest a monitoring report; newest timestamp wins the head."""
+        key = (report.src, report.dst, report.link_type)
+        history = self._reports.get(key)
+        if history is None:
+            history = deque(maxlen=self.window)
+            self._reports[key] = history
+        if history and report.reported_at < history[-1].reported_at:
+            return  # stale out-of-order report
+        history.append(report)
+
+    def update_many(self, reports: List[LinkReport]) -> None:
+        for report in reports:
+            self.update(report)
+
+    def get(self, src: str, dst: str,
+            link_type: LinkType) -> Optional[LinkReport]:
+        history = self._reports.get((src, dst, link_type))
+        return history[-1] if history else None
+
+    def history(self, src: str, dst: str,
+                link_type: LinkType) -> List[LinkReport]:
+        """The windowed report history, oldest first."""
+        return list(self._reports.get((src, dst, link_type), ()))
+
+    def latency_ms(self, src: str, dst: str, link_type: LinkType) -> float:
+        """Latest reported latency; raises KeyError if never reported."""
+        report = self.get(src, dst, link_type)
+        if report is None:
+            raise KeyError(f"no report for {src}->{dst} ({link_type.value})")
+        return report.latency_ms
+
+    def loss_rate(self, src: str, dst: str, link_type: LinkType) -> float:
+        report = self.get(src, dst, link_type)
+        if report is None:
+            raise KeyError(f"no report for {src}->{dst} ({link_type.value})")
+        return report.loss_rate
+
+    def robust_state(self, src: str, dst: str, link_type: LinkType,
+                     percentile: float = 90.0) -> Tuple[float, float]:
+        """Percentile (pessimistic) state over the report window.
+
+        With window == 1 this equals the latest report.  Raises KeyError
+        for never-reported links, ValueError for a bad percentile.
+        """
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError(f"percentile {percentile} outside [0, 100]")
+        history = self._reports.get((src, dst, link_type))
+        if not history:
+            raise KeyError(f"no report for {src}->{dst} ({link_type.value})")
+        lat = float(np.percentile([r.latency_ms for r in history],
+                                  percentile))
+        loss = float(np.percentile([r.loss_rate for r in history],
+                                   percentile))
+        return lat, loss
+
+    def stale_links(self, now: float) -> List[Tuple[str, str, LinkType]]:
+        """Links whose last report is older than the staleness budget."""
+        return [key for key, history in self._reports.items()
+                if history and now - history[-1].reported_at
+                > self.max_staleness_s]
+
+    def snapshot(self) -> Dict[Tuple[str, str, LinkType], LinkReport]:
+        """A point-in-time copy of the latest reports."""
+        return {key: history[-1] for key, history in self._reports.items()
+                if history}
+
+    def __len__(self) -> int:
+        return sum(1 for h in self._reports.values() if h)

@@ -1,0 +1,367 @@
+"""Algorithm 1: path control on the current topology (§5.3, step 1).
+
+The paper's heuristic: repeatedly build the shortest-path graph over the
+hybrid topology, sort the remaining streams by latency in *descending*
+order (long paths are the most likely to break their quality bound, so
+they get first pick of good paths), assign each stream as much of its
+demand as the path's residual capacity allows, and update capacities.
+
+Implementation notes:
+
+* Shortest paths are computed with a hop-limited min-plus DP over dense
+  numpy matrices (N <= a few dozen regions), with per-edge choice between
+  the Internet and the premium link by weighted cost
+  (latency + loss penalty + egress-fee penalty).  The fee penalty is what
+  makes the hybrid prefer cheap Internet links when their quality
+  suffices and fail over to premium links otherwise.
+* The paper rebuilds the shortest-path graph after every assignment.
+  Rebuilding is only *observable* when an assignment saturates an edge or
+  region, so we rebuild lazily: a full pass assigns streams against
+  current paths, and the graph is rebuilt whenever a capacity constraint
+  blocks someone.  The result is identical and orders of magnitude
+  faster, which the controller needs at planetary scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.controlplane.model import (ControlConfig, LinkStateFn, OverlayPath,
+                                      path_latency_ms, path_loss_rate)
+from repro.traffic.streams import Stream
+from repro.underlay.linkstate import LinkType
+from repro.underlay.pricing import PricingModel
+from repro.underlay.regions import RegionPair
+
+_TYPES = (LinkType.INTERNET, LinkType.PREMIUM)
+
+
+@dataclass
+class Assignment:
+    """One stream (or stream fraction) placed on one overlay path."""
+
+    stream: Stream
+    path: OverlayPath
+    mbps: float
+    latency_ms: float
+    loss_rate: float
+    meets_constraints: bool
+
+
+@dataclass
+class PathControlResult:
+    """Everything Algorithm 1 outputs for one epoch."""
+
+    assignments: List[Assignment]
+    #: Streams (with residual Mbps) that no capacity could carry.
+    unassigned: List[Tuple[Stream, float]]
+    #: Traffic processed per region (every region a path touches).
+    region_traffic: Dict[str, float]
+    #: Internet egress per region and premium usage per pair (Mbps).
+    internet_egress: Dict[str, float]
+    premium_usage: Dict[RegionPair, float]
+    #: Gateways needed per region: ceil(traffic x headroom / B_c).
+    used_gateways: Dict[str, int]
+    #: Forwarding tables: region -> stream_id -> (next region, link type).
+    forwarding_tables: Dict[str, Dict[int, Tuple[str, LinkType]]]
+    #: Number of shortest-path graph rebuilds (scalability diagnostic).
+    graph_rebuilds: int = 0
+
+    def assignment_for(self, stream_id: int) -> List[Assignment]:
+        return [a for a in self.assignments if a.stream.stream_id == stream_id]
+
+    def total_assigned_mbps(self) -> float:
+        return float(sum(a.mbps for a in self.assignments))
+
+    def average_relay_hops(self) -> float:
+        """Demand-weighted mean overlay hop count (Fig. 17a)."""
+        if not self.assignments:
+            return 0.0
+        weights = np.array([a.mbps for a in self.assignments])
+        hops = np.array([len(a.path.hops) for a in self.assignments])
+        if weights.sum() == 0:
+            return float(hops.mean())
+        return float(np.average(hops, weights=weights))
+
+
+class _Capacities:
+    """Residual capacities during one run of Algorithm 1."""
+
+    def __init__(self, codes: List[str], config: ControlConfig,
+                 gateways: Optional[Dict[str, int]]):
+        n = len(codes)
+        self.codes = codes
+        self.index = {c: i for i, c in enumerate(codes)}
+        if gateways is None:
+            # Step 2 runs uncapacitated on the region dimension.
+            self.region = np.full(n, np.inf)
+        else:
+            self.region = np.array([
+                config.container_capacity_mbps * gateways.get(c, 0)
+                for c in codes], dtype=float)
+        self.internet = np.full(n, config.internet_bandwidth_mbps, dtype=float)
+        self.premium = np.full((n, n), config.premium_bandwidth_mbps,
+                               dtype=float)
+        np.fill_diagonal(self.premium, 0.0)
+
+    def edge_capacity(self, i: int, j: int, link_type: LinkType) -> float:
+        cap = min(self.region[i], self.region[j])
+        if link_type is LinkType.INTERNET:
+            return min(cap, self.internet[i])
+        return min(cap, self.premium[i, j])
+
+    def path_capacity(self, path: OverlayPath) -> float:
+        cap = np.inf
+        for region in path.regions:
+            cap = min(cap, self.region[self.index[region]])
+        for (a, b, t) in path.hops:
+            i, j = self.index[a], self.index[b]
+            if t is LinkType.INTERNET:
+                cap = min(cap, self.internet[i])
+            else:
+                cap = min(cap, self.premium[i, j])
+        return float(cap)
+
+    def consume(self, path: OverlayPath, mbps: float) -> None:
+        for region in path.regions:
+            self.region[self.index[region]] -= mbps
+        for (a, b, t) in path.hops:
+            i, j = self.index[a], self.index[b]
+            if t is LinkType.INTERNET:
+                self.internet[i] -= mbps
+            else:
+                self.premium[i, j] -= mbps
+
+
+class _ShortestPaths:
+    """Hop-limited all-pairs shortest paths over the hybrid graph."""
+
+    def __init__(self, codes: List[str], state: LinkStateFn,
+                 config: ControlConfig, caps: _Capacities,
+                 fees: Optional[PricingModel], enforce_loss: bool = True):
+        n = len(codes)
+        self.codes = codes
+        self.index = caps.index
+        lat = np.full((2, n, n), np.inf)
+        loss = np.ones((2, n, n))
+        fee = np.zeros((2, n, n))
+        for ti, t in enumerate(_TYPES):
+            for i, a in enumerate(codes):
+                for j, b in enumerate(codes):
+                    if i == j:
+                        continue
+                    l, p = state(a, b, t)
+                    lat[ti, i, j] = l
+                    loss[ti, i, j] = p
+                    if fees is not None:
+                        fee[ti, i, j] = (fees.internet_fee(a)
+                                         if t is LinkType.INTERNET
+                                         else fees.premium_fee(a, b))
+        self.lat, self.loss, self.fee = lat, loss, fee
+
+        weight = (lat + config.loss_ms_penalty * loss
+                  + config.cost_ms_per_fee * fee)
+        # An edge is unusable if its own loss already violates the path
+        # loss budget (unless running the best-effort fallback pass), or
+        # if it has no residual capacity.
+        usable = (loss <= config.loss_limit if enforce_loss
+                  else np.isfinite(lat))
+        usable[0] &= caps.internet[:, None] > 0.0
+        usable[1] &= caps.premium > 0.0
+        region_ok = caps.region > 0.0
+        usable &= region_ok[None, :, None] & region_ok[None, None, :]
+        weight = np.where(usable, weight, np.inf)
+
+        # Per-edge best link type (hybrid choice).
+        self.best_type = np.argmin(weight, axis=0)
+        w = np.min(weight, axis=0)
+        np.fill_diagonal(w, np.inf)
+
+        # Min-plus DP: layer k holds the best distance using <= k+1 hops.
+        # Per-layer predecessors make reconstruction respect the hop
+        # limit exactly (a single merged predecessor matrix could splice
+        # a longer prefix in and overshoot it).
+        dist = w.copy()
+        self._vias: List[np.ndarray] = []
+        self._improved: List[np.ndarray] = []
+        for __ in range(config.max_hops - 1):
+            # stacked[i, m, j] = dist[i, m] + w[m, j]
+            stacked = dist[:, :, None] + w[None, :, :]
+            best_m = np.argmin(stacked, axis=1)
+            best_val = np.take_along_axis(
+                stacked, best_m[:, None, :], axis=1)[:, 0, :]
+            improved = best_val < dist - 1e-12
+            self._vias.append(best_m)
+            self._improved.append(improved)
+            dist = np.where(improved, best_val, dist)
+        self.w = w
+        self.dist = dist
+
+    def path(self, src: str, dst: str) -> Optional[OverlayPath]:
+        """Reconstruct the best path, or None if unreachable."""
+        i, j = self.index[src], self.index[dst]
+        if not np.isfinite(self.dist[i, j]):
+            return None
+        nodes = self._expand(i, j, len(self._vias))
+        hops = []
+        for a, b in zip(nodes[:-1], nodes[1:]):
+            t = _TYPES[int(self.best_type[a, b])]
+            hops.append((self.codes[a], self.codes[b], t))
+        return OverlayPath(tuple(hops))
+
+    def latency(self, src: str, dst: str) -> float:
+        return float(self.dist[self.index[src], self.index[dst]])
+
+    def _expand(self, i: int, j: int, layer: int) -> List[int]:
+        if layer == 0:
+            return [i, j]
+        if self._improved[layer - 1][i, j]:
+            m = int(self._vias[layer - 1][i, j])
+            return self._expand(i, m, layer - 1) + [j]
+        return self._expand(i, j, layer - 1)
+
+
+#: Stream orderings path_control supports; "latency_desc" is the paper's.
+ORDERINGS = ("latency_desc", "latency_asc", "demand_desc", "input")
+
+
+def path_control(streams: List[Stream], codes: List[str], state: LinkStateFn,
+                 config: ControlConfig,
+                 gateways: Optional[Dict[str, int]] = None,
+                 fees: Optional[PricingModel] = None,
+                 max_rebuilds: int = 40,
+                 ordering: str = "latency_desc") -> PathControlResult:
+    """Run Algorithm 1.
+
+    `gateways` gives the current per-region container counts; pass None to
+    run uncapacitated on the region dimension (used by capacity control's
+    second step).  `fees` enables the cost term in edge weights.
+    `ordering` selects the per-pass stream order — the paper's
+    latency-descending heuristic by default; the alternatives exist for
+    the ordering ablation.
+    """
+    if ordering not in ORDERINGS:
+        raise ValueError(f"unknown ordering {ordering!r}; choose from "
+                         f"{ORDERINGS}")
+    caps = _Capacities(list(codes), config, gateways)
+    sp = _ShortestPaths(list(codes), state, config, caps, fees)
+    rebuilds = 0
+
+    remaining: Dict[int, float] = {s.stream_id: s.demand_mbps for s in streams}
+    by_id: Dict[int, Stream] = {s.stream_id: s for s in streams}
+    assignments: List[Assignment] = []
+
+    # Latency limits are anchored to the direct premium latency of each
+    # pair (the best the underlay can do).
+    def limit_for(s: Stream) -> float:
+        lat, __ = state(s.src, s.dst, LinkType.PREMIUM)
+        return config.latency_limit_ms(lat)
+
+    limits = {s.stream_id: limit_for(s) for s in streams}
+
+    def ordered(active_streams: List[Stream]) -> List[Stream]:
+        if ordering == "input":
+            return list(active_streams)
+        if ordering == "demand_desc":
+            return sorted(active_streams, key=lambda s: -s.demand_mbps)
+        sign = -1.0 if ordering == "latency_desc" else 1.0
+
+        def key(s: Stream) -> float:
+            lat = sp.latency(s.src, s.dst)
+            return sign * lat if np.isfinite(lat) else 0.0
+
+        return sorted(active_streams, key=key)
+
+    active = [s for s in streams if s.demand_mbps > 0]
+    while active and rebuilds <= max_rebuilds:
+        # Sort by current shortest-path latency, descending (line 8).
+        order = ordered(active)
+        blocked: List[Stream] = []
+        assigned_any = False
+        for s in order:
+            want = remaining[s.stream_id]
+            if want <= 0:
+                continue
+            path = sp.path(s.src, s.dst)
+            if path is None:
+                blocked.append(s)
+                continue
+            cap = caps.path_capacity(path)
+            take = min(want, cap)
+            if take <= 1e-9:
+                blocked.append(s)
+                continue
+            lat = path_latency_ms(path, state)
+            loss = path_loss_rate(path, state)
+            meets = (lat <= limits[s.stream_id]
+                     and loss <= config.loss_limit)
+            caps.consume(path, take)
+            remaining[s.stream_id] = want - take
+            assignments.append(Assignment(s, path, float(take), lat, loss,
+                                          meets))
+            assigned_any = True
+            if remaining[s.stream_id] > 1e-9:
+                blocked.append(s)  # leftover demand needs another path
+        active = [s for s in blocked if remaining[s.stream_id] > 1e-9]
+        if not active:
+            break
+        if not assigned_any:
+            break  # no capacity anywhere; give up on the rest
+        sp = _ShortestPaths(list(codes), state, config, caps, fees)
+        rebuilds += 1
+
+    # Best-effort fallback: streams that found no quality-feasible edge at
+    # all (e.g. a global loss episode) are still carried — production
+    # cannot drop conferences — on the least-bad path, flagged as
+    # violating constraints.
+    leftovers = [s for s in streams if remaining[s.stream_id] > 1e-9]
+    if leftovers:
+        sp = _ShortestPaths(list(codes), state, config, caps, fees,
+                            enforce_loss=False)
+        for s in leftovers:
+            want = remaining[s.stream_id]
+            path = sp.path(s.src, s.dst)
+            if path is None:
+                continue
+            take = min(want, caps.path_capacity(path))
+            if take <= 1e-9:
+                continue
+            caps.consume(path, take)
+            remaining[s.stream_id] = want - take
+            assignments.append(Assignment(
+                s, path, float(take), path_latency_ms(path, state),
+                path_loss_rate(path, state), False))
+
+    unassigned = [(by_id[sid], res) for sid, res in remaining.items()
+                  if res > 1e-9]
+
+    return _summarise(assignments, unassigned, codes, config, rebuilds)
+
+
+def _summarise(assignments: List[Assignment],
+               unassigned: List[Tuple[Stream, float]], codes: List[str],
+               config: ControlConfig, rebuilds: int) -> PathControlResult:
+    region_traffic: Dict[str, float] = {c: 0.0 for c in codes}
+    internet_egress: Dict[str, float] = {c: 0.0 for c in codes}
+    premium_usage: Dict[RegionPair, float] = {}
+    tables: Dict[str, Dict[int, Tuple[str, LinkType]]] = {c: {} for c in codes}
+
+    for a in assignments:
+        for region in a.path.regions:
+            region_traffic[region] += a.mbps
+        for (i, j, t) in a.path.hops:
+            if t is LinkType.INTERNET:
+                internet_egress[i] += a.mbps
+            else:
+                premium_usage[(i, j)] = premium_usage.get((i, j), 0.0) + a.mbps
+            tables[i][a.stream.stream_id] = (j, t)
+
+    used = {c: int(np.ceil(region_traffic[c] * config.capacity_headroom
+                           / config.container_capacity_mbps))
+            for c in codes}
+    return PathControlResult(assignments, unassigned, region_traffic,
+                             internet_egress, premium_usage, used, tables,
+                             rebuilds)

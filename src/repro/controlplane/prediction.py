@@ -1,0 +1,141 @@
+"""Traffic demand prediction (§5.1).
+
+The paper's observation: demand has a strong three-peak daily pattern with
+weekly structure, so a Discrete-Time Fourier Transform fit works well.
+The predictor transforms the demand history to the frequency domain, keeps
+the one hundred most prominent harmonics (filtering random jitter), and
+transforms back to extrapolate the next timestamps.
+
+One empirical production rule is layered on top: the prediction is never
+below the last observed demand, which caps the risk of scaling down into
+a surge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class DTFTPredictor:
+    """Fit a truncated Fourier series to a demand history and extrapolate."""
+
+    def __init__(self, n_harmonics: int = 100):
+        if n_harmonics < 1:
+            raise ValueError(f"need at least one harmonic, got {n_harmonics}")
+        self.n_harmonics = int(n_harmonics)
+        self._coeffs: Optional[np.ndarray] = None
+        self._freq_idx: Optional[np.ndarray] = None
+        self._n: int = 0
+
+    @property
+    def fitted(self) -> bool:
+        return self._coeffs is not None
+
+    def fit(self, history: Sequence[float]) -> "DTFTPredictor":
+        """Fit to a uniformly-sampled demand history.
+
+        Keeps the DC component plus the `n_harmonics` largest-magnitude
+        positive-frequency harmonics.
+        """
+        x = np.asarray(history, dtype=float)
+        if x.ndim != 1 or x.size < 4:
+            raise ValueError("history must be a 1-D series of length >= 4")
+        if np.any(~np.isfinite(x)):
+            raise ValueError("history contains non-finite values")
+        spectrum = np.fft.rfft(x)
+        n_keep = min(self.n_harmonics, spectrum.size - 1)
+        # Always keep DC (index 0); choose the rest by magnitude.
+        magnitudes = np.abs(spectrum[1:])
+        keep = np.argsort(magnitudes)[::-1][:n_keep] + 1
+        idx = np.concatenate([[0], np.sort(keep)])
+        self._freq_idx = idx
+        self._coeffs = spectrum[idx]
+        self._n = x.size
+        return self
+
+    def reconstruct(self, at_indices) -> np.ndarray:
+        """Evaluate the truncated series at (possibly fractional) indices.
+
+        Indices past the history length extrapolate by periodic extension,
+        which is exactly the Fourier model's assumption.
+        """
+        if not self.fitted:
+            raise RuntimeError("predictor is not fitted")
+        n = np.asarray(at_indices, dtype=float)
+        # Real-signal reconstruction from the kept rFFT bins.
+        angles = 2.0j * np.pi * np.outer(n, self._freq_idx) / self._n
+        weights = np.where(
+            (self._freq_idx == 0) | (self._freq_idx == self._n // 2
+                                     if self._n % 2 == 0 else False),
+            1.0, 2.0)
+        values = np.real(np.exp(angles) @ (self._coeffs * weights)) / self._n
+        return np.maximum(values, 0.0)
+
+    def predict(self, steps_ahead: int = 1) -> np.ndarray:
+        """Extrapolate `steps_ahead` values beyond the fitted history."""
+        if steps_ahead < 1:
+            raise ValueError(f"steps_ahead must be >= 1, got {steps_ahead}")
+        idx = self._n + np.arange(steps_ahead)
+        return self.reconstruct(idx)
+
+
+class RollingPredictor:
+    """Online wrapper: observe demand each slot, predict the next slot.
+
+    Applies the paper's empirical rule — prediction >= last actual — and
+    refits the Fourier model periodically rather than every slot (fitting
+    is cheap but not free at planetary scale).
+    """
+
+    def __init__(self, n_harmonics: int = 100, history_slots: int = 576,
+                 refit_every: int = 12, min_history: int = 288):
+        # Defaults: 5-minute slots, two days of history, refit hourly,
+        # need one day of data before trusting the model.  The window is
+        # deliberately short: with the hundred most prominent harmonics,
+        # a two-day window resolves ~30-minute features (recurring
+        # meeting-block surges), which a two-week window cannot.
+        self.predictor = DTFTPredictor(n_harmonics)
+        self.history_slots = int(history_slots)
+        self.refit_every = int(refit_every)
+        self.min_history = int(min_history)
+        self._history: list = []
+        self._since_fit = 0
+
+    @property
+    def last_actual(self) -> Optional[float]:
+        return self._history[-1] if self._history else None
+
+    def observe(self, demand: float) -> None:
+        """Record the demand measured for the slot that just ended."""
+        if demand < 0:
+            raise ValueError(f"negative demand {demand}")
+        self._history.append(float(demand))
+        if len(self._history) > self.history_slots:
+            del self._history[:len(self._history) - self.history_slots]
+        self._since_fit += 1
+        if (len(self._history) >= max(self.min_history, 4)
+                and (not self.predictor.fitted
+                     or self._since_fit >= self.refit_every)):
+            self.predictor.fit(self._history)
+            self._since_fit = 0
+
+    def predict_next(self, horizon_slots: int = 1) -> float:
+        """Predicted demand over the next `horizon_slots` (max across them).
+
+        Scaling consumers pass the provisioning window in slots (the paper
+        reserves five minutes); the prediction must cover the *peak* of
+        that window, not just its first slot.  Before enough history
+        accumulates, falls back to the last actual demand (a persistence
+        forecast) scaled by a safety factor.
+        """
+        if horizon_slots < 1:
+            raise ValueError(f"horizon must be >= 1 slot, got {horizon_slots}")
+        last = self.last_actual if self.last_actual is not None else 0.0
+        if not self.predictor.fitted:
+            return last * 1.1
+        raw = float(np.max(self.predictor.predict(
+            self._since_fit + horizon_slots)[-horizon_slots:]))
+        # Empirical production rule: never predict below the last actual.
+        return max(raw, last)

@@ -1,0 +1,65 @@
+"""Stream Information Base (SIB).
+
+The SIB stores application-level information (§3): source, destination,
+bitrate and profile of every stream, plus the per-pair demand history the
+DTFT predictor consumes.  Because XRON is operated by the conferencing
+provider itself, this application knowledge is available without privacy
+leakage — it is the key enabler of proactive scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.controlplane.prediction import RollingPredictor
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.streams import Stream
+from repro.underlay.regions import RegionPair
+
+
+class StreamInformationBase:
+    """Per-pair demand history + per-epoch stream registry."""
+
+    def __init__(self, codes: List[str], n_harmonics: int = 100,
+                 history_slots: int = 576, refit_every: int = 12,
+                 min_history: int = 288):
+        self.codes = list(codes)
+        self._predictors: Dict[RegionPair, RollingPredictor] = {
+            (a, b): RollingPredictor(n_harmonics, history_slots,
+                                     refit_every, min_history)
+            for a in codes for b in codes if a != b}
+        self._streams: List[Stream] = []
+        self._last_matrix: Optional[TrafficMatrix] = None
+
+    # ------------------------------------------------------------------ api
+    def record_epoch(self, matrix: TrafficMatrix,
+                     streams: Optional[List[Stream]] = None) -> None:
+        """Ingest the demand measured over the epoch that just ended."""
+        for (a, b), demand in matrix.items():
+            predictor = self._predictors.get((a, b))
+            if predictor is None:
+                raise KeyError(f"unknown pair {(a, b)} in demand matrix")
+            predictor.observe(demand)
+        self._last_matrix = matrix
+        if streams is not None:
+            self._streams = list(streams)
+
+    def predicted_matrix(self) -> TrafficMatrix:
+        """Five-minutes-ahead demand for every pair (with the >= last-actual
+        production rule already applied by each predictor)."""
+        if self._last_matrix is None:
+            raise RuntimeError("no demand recorded yet")
+        demand = {pair: predictor.predict_next()
+                  for pair, predictor in self._predictors.items()}
+        return TrafficMatrix(self.codes, demand)
+
+    @property
+    def last_matrix(self) -> Optional[TrafficMatrix]:
+        return self._last_matrix
+
+    @property
+    def streams(self) -> List[Stream]:
+        return list(self._streams)
+
+    def predictor(self, src: str, dst: str) -> RollingPredictor:
+        return self._predictors[(src, dst)]

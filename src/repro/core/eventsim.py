@@ -1,0 +1,278 @@
+"""Event-driven XRON deployment.
+
+Where `EpochSimulator` evaluates paths analytically on a grid, this
+module runs the actual moving parts on the discrete-event engine:
+
+* every 400 ms each region cluster's *representative* gateways send
+  probe bursts; group state is aggregated, distributed to members and
+  reported to the NIB (§4.1);
+* every second, tracked video sessions are forwarded hop by hop through
+  the gateways' live forwarding tables — including any local fast
+  reaction decisions (§4.3) — and the resulting end-to-end latency/loss
+  is measured; the data packets feed passive tracking;
+* every few seconds gateways fold passive windows into their estimators;
+* every control epoch the controller recomputes paths, reaction plans
+  and capacity from the NIB/SIB, tables are installed cluster-wide, and
+  container pools scale (with provisioning delays) before the cluster
+  fleet follows (§5).
+
+It is slower per simulated second than the epoch simulator and meant
+for minutes-scale studies of the *mechanisms* (detection timing, control
+loop interplay), not day-scale statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.controlplane.controller import Controller, ControlOutput
+from repro.controlplane.model import ControlConfig
+from repro.core.config import SimulationConfig
+from repro.core.variants import VariantSpec, xron
+from repro.dataplane.cluster import RegionCluster
+from repro.elastic.containers import ContainerPool
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.traffic.demand import DemandModel
+from repro.traffic.matrix import TrafficMatrix
+from repro.underlay.linkstate import LinkType
+from repro.underlay.regions import RegionPair
+from repro.underlay.topology import Underlay
+
+#: Packets per tracked session per measurement tick (passive tracking).
+_PACKETS_PER_TICK = 50
+
+
+@dataclass
+class SessionRecord:
+    """Measured samples of one tracked session."""
+
+    pair: RegionPair
+    times: List[float] = field(default_factory=list)
+    latency_ms: List[float] = field(default_factory=list)
+    loss_rate: List[float] = field(default_factory=list)
+    on_backup: List[bool] = field(default_factory=list)
+    hop_counts: List[int] = field(default_factory=list)
+
+    def latency_array(self) -> np.ndarray:
+        return np.asarray(self.latency_ms)
+
+    def backup_fraction(self) -> float:
+        return float(np.mean(self.on_backup)) if self.on_backup else 0.0
+
+
+@dataclass
+class EventSimResult:
+    sessions: Dict[RegionPair, SessionRecord]
+    control_outputs: List[ControlOutput]
+    probe_bytes: int
+    detections: int
+    gateway_counts: Dict[str, int]
+    events_processed: int
+
+
+class EventDrivenXRON:
+    """The full system on the event engine."""
+
+    def __init__(self, underlay: Underlay, demand: DemandModel,
+                 variant: Optional[VariantSpec] = None,
+                 sim_config: Optional[SimulationConfig] = None,
+                 control_config: Optional[ControlConfig] = None,
+                 tracked_pairs: Optional[List[RegionPair]] = None,
+                 measure_interval_s: float = 1.0,
+                 passive_flush_s: float = 5.0,
+                 controller_outage: Optional[Tuple[float, float]] = None):
+        """`controller_outage` = (start_s, end_s): epochs falling inside
+        the window are skipped — gateways keep serving on stale tables
+        with only the local fast reaction, the §4.3 failure mode the
+        distributed design exists for."""
+        self.underlay = underlay
+        self.demand = demand
+        self.variant = variant if variant is not None else xron()
+        if not self.variant.overlay_relaying:
+            raise ValueError(
+                "the event simulator models the overlay variants; use "
+                "EpochSimulator for the direct-path baselines")
+        self.sim_config = (sim_config if sim_config is not None
+                           else SimulationConfig())
+        self.control_config = (control_config if control_config is not None
+                               else ControlConfig())
+        self.measure_interval_s = measure_interval_s
+        self.passive_flush_s = passive_flush_s
+        self.controller_outage = controller_outage
+        self.skipped_epochs = 0
+        self._streams = RngStreams(self.sim_config.seed)
+
+        self.controller = Controller(
+            underlay.codes, self.control_config, pricing=underlay.pricing,
+            symmetric_only=self.variant.symmetric_only,
+            premium_only=not self.variant.internet_allowed,
+            internet_only=not self.variant.premium_allowed,
+            seed=self.sim_config.seed)
+        reaction = replace(
+            self.sim_config.reaction,
+            enabled=(self.sim_config.reaction.enabled
+                     and self.variant.fast_reaction))
+        self.clusters: Dict[str, RegionCluster] = {
+            code: RegionCluster(
+                code, underlay,
+                initial_gateways=self.sim_config.initial_gateways,
+                monitoring=self.sim_config.monitoring,
+                reaction=reaction,
+                rng=self._streams.get(f"cluster.{code}"))
+            for code in underlay.codes}
+        self.pools: Dict[str, ContainerPool] = {
+            code: ContainerPool(
+                code, self._streams.get(f"pool.{code}"),
+                initial=self.sim_config.initial_gateways,
+                max_containers=self.control_config.max_containers)
+            for code in underlay.codes}
+
+        if tracked_pairs is None:
+            tracked_pairs = sorted(
+                demand.pairs, key=lambda p: -demand.pair_scale(*p))[:4]
+        self.sessions: Dict[RegionPair, SessionRecord] = {
+            pair: SessionRecord(pair) for pair in tracked_pairs}
+        #: Controller stream id currently carrying each tracked pair.
+        self._session_stream: Dict[RegionPair, Optional[int]] = {
+            pair: None for pair in tracked_pairs}
+        self.control_outputs: List[ControlOutput] = []
+
+    # ------------------------------------------------------------------ api
+    def run(self, start_s: float, duration_s: float) -> EventSimResult:
+        sim = Simulator(start_time=start_s)
+        end = start_s + duration_s
+        burst = self.sim_config.monitoring.burst_interval_s
+
+        # Control epoch first (priority 0) so tables exist before the
+        # first measurements; probing before measurement at equal times.
+        self._control_epoch(sim)
+        sim.every(self.sim_config.epoch_s,
+                  lambda: self._control_epoch(sim),
+                  start_delay=self.sim_config.epoch_s, priority=0)
+        sim.every(burst, lambda: self._probe_round(sim), priority=1)
+        sim.every(self.passive_flush_s, lambda: self._flush_passive(sim),
+                  start_delay=self.passive_flush_s, priority=2)
+        sim.every(self.measure_interval_s, lambda: self._measure(sim),
+                  start_delay=self.measure_interval_s, priority=3)
+        sim.run_until(end)
+
+        return EventSimResult(
+            sessions=self.sessions,
+            control_outputs=self.control_outputs,
+            probe_bytes=sum(c.probe_bytes() for c in self.clusters.values()),
+            detections=sum(c.degradation_detections()
+                           for c in self.clusters.values()),
+            gateway_counts={code: c.size
+                            for code, c in self.clusters.items()},
+            events_processed=sim.events_processed)
+
+    # -------------------------------------------------------------- internal
+    def _probe_round(self, sim: Simulator) -> None:
+        for cluster in self.clusters.values():
+            reports = cluster.probe_round(sim.now)
+            self.controller.nib.update_many(reports)
+
+    def _flush_passive(self, sim: Simulator) -> None:
+        for cluster in self.clusters.values():
+            cluster.flush_passive(sim.now)
+
+    def _control_epoch(self, sim: Simulator) -> None:
+        now = sim.now
+        if (self.controller_outage is not None
+                and self.controller_outage[0] <= now
+                < self.controller_outage[1]):
+            # Controller unreachable: the data plane soldiers on with the
+            # last-installed tables and plans, reacting locally.
+            self.skipped_epochs += 1
+            return
+        # The very first epoch needs NIB state: run one probing round.
+        if len(self.controller.nib) == 0:
+            self._probe_round(sim)
+        matrix = TrafficMatrix.from_model(self.demand, now,
+                                          self.sim_config.demand_scale)
+        ready = {code: max(1, self.pools[code].ready_count(now))
+                 for code in self.underlay.codes}
+        output = self.controller.run_epoch(now, matrix, ready)
+        self.control_outputs.append(output)
+
+        if self.variant.elastic:
+            for code, target in output.capacity.target.items():
+                self.pools[code].scale_to(target, now)
+        # The fleet follows the pool's *ready* container count.
+        for code, cluster in self.clusters.items():
+            cluster.scale_to(max(1, self.pools[code].ready_count(now)))
+
+        # Install forwarding tables and per-region reaction plans.
+        plans_by_region: Dict[str, Dict[int, Tuple[str, ...]]] = {
+            code: {} for code in self.underlay.codes}
+        for (sid, region), plan in output.reaction_plans.items():
+            plans_by_region[region][sid] = plan.relay_regions
+        for code, cluster in self.clusters.items():
+            cluster.install(output.path_result.forwarding_tables[code],
+                            plans_by_region[code])
+
+        # Re-bind tracked sessions to this epoch's stream ids.
+        best: Dict[RegionPair, Tuple[int, float]] = {}
+        for a in output.path_result.assignments:
+            key = (a.stream.src, a.stream.dst)
+            if key in self.sessions and (
+                    key not in best or a.mbps > best[key][1]):
+                best[key] = (a.stream.stream_id, a.mbps)
+        for pair in self.sessions:
+            self._session_stream[pair] = (best[pair][0] if pair in best
+                                          else None)
+
+    def _measure(self, sim: Simulator) -> None:
+        now = sim.now
+        rng = self._streams.get("eventsim.measure")
+        for pair, record in self.sessions.items():
+            sid = self._session_stream[pair]
+            if sid is None:
+                continue
+            hops = self._walk(pair, sid)
+            if hops is None:
+                continue
+            latency = 0.0
+            survive = 1.0
+            on_backup = False
+            for (a, b, lt, via_backup) in hops:
+                link = self.underlay.link(a, b, lt)
+                hop_lat = float(link.latency_ms(now))
+                hop_loss = float(link.loss_rate(now))
+                latency += hop_lat
+                survive *= 1.0 - hop_loss
+                on_backup = on_backup or via_backup
+                # Passive tracking: account the session's packets on the
+                # forwarding gateway's cluster.
+                lost = int(rng.binomial(_PACKETS_PER_TICK,
+                                        min(hop_loss, 1.0)))
+                for gateway in self.clusters[a].gateways.values():
+                    gateway.passive.record((a, b, lt), _PACKETS_PER_TICK,
+                                           lost, hop_lat)
+                    break  # the forwarding gateway only
+            record.times.append(now)
+            record.latency_ms.append(latency)
+            record.loss_rate.append(1.0 - survive)
+            record.on_backup.append(on_backup)
+            record.hop_counts.append(len(hops))
+
+    def _walk(self, pair: RegionPair, stream_id: int
+              ) -> Optional[List[Tuple[str, str, LinkType, bool]]]:
+        """Follow the live forwarding decisions from source to destination."""
+        src, dst = pair
+        hops: List[Tuple[str, str, LinkType, bool]] = []
+        current = src
+        for __ in range(8):  # generous loop guard
+            if current == dst:
+                return hops
+            decision = self.clusters[current].forward(stream_id)
+            if decision is None:
+                return None
+            hops.append((current, decision.next_hop, decision.link_type,
+                         decision.via_backup))
+            current = decision.next_hop
+        return None  # routing loop: drop the sample

@@ -1,0 +1,457 @@
+"""The epoch-driven system simulator.
+
+`EpochSimulator` replays a time window against one system variant:
+
+1. every control epoch (five minutes), gateway monitoring reports
+   group-aggregated link states to the NIB, the SIB ingests the measured
+   demand, and the controller computes forwarding paths, reaction plans
+   and capacity targets (skipped for the direct-path baseline variants);
+2. capacity targets are applied to per-region container pools, whose
+   additions become ready only after realistic provisioning delays;
+3. within the epoch, each region pair's representative path is evaluated
+   on a fine grid: burst-level degradation detection drives the fast
+   reaction (when the variant has it), producing the *effective*
+   latency/loss the application saw;
+4. everything is recorded: per-pair effective series, demand, container
+   counts, hop counts, and billed volumes per tier.
+
+The recorded `SimulationResult` is what every §6 experiment consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import weighted_percentiles
+from repro.controlplane.controller import Controller, ControlOutput
+from repro.controlplane.model import ControlConfig, OverlayPath, PathHop
+from repro.core.config import SimulationConfig
+from repro.core.variants import VariantSpec
+from repro.cost.accounting import PairCostLedger
+from repro.dataplane.config import MonitoringConfig, ReactionConfig
+from repro.dataplane.estimator import reaction_active_series
+from repro.dataplane.forwarding import effective_path_series
+from repro.dataplane.grouping import ProbingGroupManager
+from repro.dataplane.probing import burst_series
+from repro.elastic.containers import ContainerPool
+from repro.qoe.metrics import QoESummary
+from repro.sim.rng import RngStreams
+from repro.traffic.demand import DemandModel
+from repro.traffic.matrix import TrafficMatrix
+from repro.underlay.linkstate import LinkType
+from repro.underlay.regions import RegionPair
+from repro.underlay.topology import Underlay
+
+
+class _EpochLinkCache:
+    """Per-epoch, per-hop link series and reaction flags, computed once."""
+
+    def __init__(self, underlay: Underlay, t0: float, t1: float,
+                 eval_step_s: float, monitoring: MonitoringConfig,
+                 reaction: ReactionConfig, streams: RngStreams,
+                 enable_reaction: bool):
+        self.underlay = underlay
+        self.t0, self.t1 = t0, t1
+        self.times = np.arange(t0, t1, eval_step_s)
+        self.monitoring = monitoring
+        self.reaction_config = reaction
+        self.streams = streams
+        self.enable_reaction = enable_reaction
+        self._series: Dict[PathHop, Tuple[np.ndarray, np.ndarray]] = {}
+        self._reaction: Dict[PathHop, np.ndarray] = {}
+
+    def series(self, hop: PathHop) -> Tuple[np.ndarray, np.ndarray]:
+        if hop not in self._series:
+            link = self.underlay.link(hop[0], hop[1], hop[2])
+            self._series[hop] = (link.latency_ms(self.times),
+                                 link.loss_rate(self.times))
+        return self._series[hop]
+
+    def reaction(self, hop: PathHop) -> np.ndarray:
+        """Burst-level degradation detection, resampled to the eval grid."""
+        if not self.enable_reaction:
+            return np.zeros(self.times.size, dtype=bool)
+        if hop not in self._reaction:
+            link = self.underlay.link(hop[0], hop[1], hop[2])
+            seed = self.streams.seed_for(
+                f"probe.{hop[0]}->{hop[1]}.{hop[2].value}")
+            bt, blat, bloss = burst_series(link, self.t0, self.t1,
+                                           self.monitoring, seed)
+            flags = reaction_active_series(blat, bloss, self.reaction_config)
+            idx = np.clip(np.searchsorted(bt, self.times, side="right") - 1,
+                          0, bt.size - 1)
+            self._reaction[hop] = flags[idx]
+        return self._reaction[hop]
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulated window produced for one variant."""
+
+    variant: VariantSpec
+    pairs: List[RegionPair]
+    region_codes: List[str]
+    eval_step_s: float
+    epoch_s: float
+    times: np.ndarray              #: (T,) evaluation instants
+    latency_ms: np.ndarray         #: (P, T) effective path latency
+    loss_rate: np.ndarray          #: (P, T) effective path loss
+    on_backup: np.ndarray          #: (P, T) riding a reaction path
+    epoch_starts: np.ndarray       #: (E,)
+    demand_mbps: np.ndarray        #: (P, E)
+    containers: np.ndarray         #: (R, E) ready gateways per region
+    ledger: PairCostLedger
+    #: (hop count, Mbps) samples for normal paths, per epoch (Fig. 17a).
+    normal_hop_samples: List[Tuple[int, float]] = field(default_factory=list)
+    #: Same for reaction (backup) paths, weighted by reacted traffic.
+    reaction_hop_samples: List[Tuple[int, float]] = field(default_factory=list)
+    #: Billed volume per epoch per tier, GB (Fig. 17b).
+    internet_gb_per_epoch: np.ndarray = field(
+        default_factory=lambda: np.zeros(0))
+    premium_gb_per_epoch: np.ndarray = field(
+        default_factory=lambda: np.zeros(0))
+    #: Fraction of pairs whose representative path changed, per epoch
+    #: (route churn; epoch 0 is 0 by definition).
+    path_change_fraction: np.ndarray = field(
+        default_factory=lambda: np.zeros(0))
+
+    # ------------------------------------------------------------------ api
+    def pair_index(self, src: str, dst: str) -> int:
+        return self.pairs.index((src, dst))
+
+    def sample_weights(self) -> np.ndarray:
+        """(P, T) per-sample demand weights (pair demand of the epoch)."""
+        steps_per_epoch = int(round(self.epoch_s / self.eval_step_s))
+        reps = np.repeat(self.demand_mbps, steps_per_epoch, axis=1)
+        return reps[:, :self.times.size]
+
+    def pooled(self, weighted: bool = True
+               ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flattened (latency, loss, weights) over all pairs and times."""
+        lat = self.latency_ms.ravel()
+        loss = self.loss_rate.ravel()
+        w = (self.sample_weights().ravel() if weighted
+             else np.ones_like(lat))
+        return lat, loss, w
+
+    def latency_percentiles(self, percentiles=(50.0, 95.0, 99.0, 99.9),
+                            weighted: bool = True) -> Dict[str, float]:
+        """Table 2's row for this variant."""
+        lat, __, w = self.pooled(weighted)
+        row = {"average": float(np.average(lat, weights=w))}
+        vals = weighted_percentiles(lat, w, percentiles)
+        for p, v in zip(percentiles, vals):
+            row[f"{p:g}%"] = float(v)
+        return row
+
+    def loss_percentiles(self, percentiles=(50.0, 95.0, 99.0, 99.9),
+                         weighted: bool = True) -> Dict[str, float]:
+        """Table 3's row for this variant (loss in percent)."""
+        __, loss, w = self.pooled(weighted)
+        loss_pct = loss * 100.0
+        row = {"average": float(np.average(loss_pct, weights=w))}
+        vals = weighted_percentiles(loss_pct, w, percentiles)
+        for p, v in zip(percentiles, vals):
+            row[f"{p:g}%"] = float(v)
+        return row
+
+    def qoe_summary(self) -> QoESummary:
+        """QoE over the whole window, demand-weight-pooled across pairs."""
+        return self._qoe_for_slice(slice(0, self.times.size))
+
+    def qoe_per_day(self) -> List[QoESummary]:
+        steps_per_day = int(round(86400.0 / self.eval_step_s))
+        summaries = []
+        for d0 in range(0, self.times.size, steps_per_day):
+            summaries.append(self._qoe_for_slice(
+                slice(d0, min(d0 + steps_per_day, self.times.size))))
+        return summaries
+
+    def backup_fraction(self) -> float:
+        """Demand-weighted fraction of traffic-time on reaction paths."""
+        w = self.sample_weights()
+        total = w.sum()
+        if total <= 0:
+            return float(self.on_backup.mean())
+        return float((self.on_backup * w).sum() / total)
+
+    def premium_traffic_share(self) -> float:
+        return self.ledger.premium_traffic_share()
+
+    def mean_route_churn(self) -> float:
+        """Mean per-epoch fraction of pairs that changed paths."""
+        if self.path_change_fraction.size <= 1:
+            return 0.0
+        return float(self.path_change_fraction[1:].mean())
+
+    # -------------------------------------------------------------- internal
+    def _qoe_for_slice(self, sl: slice) -> QoESummary:
+        from repro.qoe.video import VideoQoEConfig, stall_series, \
+            stall_duration_buckets, frame_rate_series
+        from repro.qoe.audio import audio_fluency_series, fluency_score_counts
+
+        lat = self.latency_ms[:, sl]
+        loss = self.loss_rate[:, sl]
+        w = self.sample_weights()[:, sl]
+        wsum = w.sum()
+        if wsum <= 0:
+            w = np.ones_like(w)
+            wsum = w.sum()
+        vcfg = VideoQoEConfig()
+        stalled = stall_series(lat, loss, vcfg)
+        fps = frame_rate_series(lat, loss, vcfg)
+        fluency = audio_fluency_series(lat, loss)
+        score_floor = np.clip(np.floor(fluency).astype(int), 1, 5)
+        buckets = (0, 0, 0)
+        for p in range(lat.shape[0]):
+            b = stall_duration_buckets(stalled[p], self.eval_step_s)
+            buckets = tuple(x + y for x, y in zip(buckets, b))
+        return QoESummary(
+            stall_ratio=float((stalled * w).sum() / wsum),
+            mean_fps=float((fps * w).sum() / wsum),
+            mean_fluency=float((fluency * w).sum() / wsum),
+            bad_audio_fraction=float(((score_floor == 1) * w).sum() / wsum),
+            low_audio_fraction=float(((score_floor <= 2) * w).sum() / wsum),
+            stall_buckets=buckets,  # type: ignore[arg-type]
+            samples=int(lat.size))
+
+
+class EpochSimulator:
+    """Replays a window for one variant; see the module docstring."""
+
+    def __init__(self, underlay: Underlay, demand: DemandModel,
+                 variant: VariantSpec,
+                 sim_config: Optional[SimulationConfig] = None,
+                 control_config: Optional[ControlConfig] = None):
+        self.underlay = underlay
+        self.demand = demand
+        self.variant = variant
+        self.sim_config = (sim_config if sim_config is not None
+                           else SimulationConfig())
+        self.control_config = (control_config if control_config is not None
+                               else ControlConfig())
+        self.codes = underlay.codes
+        self.pairs = underlay.pairs
+        self._streams = RngStreams(self.sim_config.seed)
+        self._grouping = ProbingGroupManager(
+            self.codes, self.sim_config.monitoring.representatives)
+
+        if variant.overlay_relaying:
+            self.controller: Optional[Controller] = Controller(
+                self.codes, self.control_config, pricing=underlay.pricing,
+                symmetric_only=variant.symmetric_only,
+                premium_only=not variant.internet_allowed,
+                internet_only=not variant.premium_allowed,
+                nib_window=self.sim_config.nib_window,
+                robust_percentile=self.sim_config.robust_percentile,
+                seed=self.sim_config.seed)
+        else:
+            self.controller = None
+
+        self._pools: Dict[str, ContainerPool] = {}
+
+    # ------------------------------------------------------------------ api
+    def replace_underlay(self, underlay: Underlay) -> None:
+        """Swap in a fresh underlay (same regions) between run() calls.
+
+        Multi-week studies build one underlay per day instead of one
+        giant event horizon; the controller's NIB/SIB state, predictors
+        and container pools persist across the swap, which is exactly
+        what a production control plane would experience.
+        """
+        if underlay.codes != self.codes:
+            raise ValueError("replacement underlay must have the same "
+                             "regions in the same order")
+        self.underlay = underlay
+
+    def run(self, start_s: float, duration_s: float) -> SimulationResult:
+        cfg = self.sim_config
+        n_epochs = int(np.ceil(duration_s / cfg.epoch_s))
+        steps_per_epoch = int(round(cfg.epoch_s / cfg.eval_step_s))
+        n_steps = n_epochs * steps_per_epoch
+        n_pairs = len(self.pairs)
+        pair_idx = {p: i for i, p in enumerate(self.pairs)}
+
+        times = start_s + np.arange(n_steps) * cfg.eval_step_s
+        latency = np.zeros((n_pairs, n_steps), dtype=np.float32)
+        loss = np.zeros((n_pairs, n_steps), dtype=np.float32)
+        backup = np.zeros((n_pairs, n_steps), dtype=bool)
+        epoch_starts = start_s + np.arange(n_epochs) * cfg.epoch_s
+        demand_rec = np.zeros((n_pairs, n_epochs))
+        containers = np.zeros((len(self.codes), n_epochs), dtype=int)
+        ledger = PairCostLedger(self.underlay.pricing)
+        internet_gb = np.zeros(n_epochs)
+        premium_gb = np.zeros(n_epochs)
+        churn = np.zeros(n_epochs)
+        normal_hops: List[Tuple[int, float]] = []
+        reaction_hops: List[Tuple[int, float]] = []
+        prev_paths: Dict[RegionPair, Tuple] = {}
+
+        if not self._pools:
+            # Pools persist across run() calls so multi-day drivers keep
+            # fleet state (and billing continuity) between days.
+            self._pools = {
+                code: ContainerPool(
+                    code, self._streams.get(f"pool.{code}"),
+                    initial=cfg.initial_gateways,
+                    max_containers=self.control_config.max_containers)
+                for code in self.codes}
+
+        for e in range(n_epochs):
+            now = float(epoch_starts[e])
+            epoch_end = now + cfg.epoch_s
+            matrix = TrafficMatrix.from_model(self.demand, now,
+                                              cfg.demand_scale)
+            for pair, d in matrix.items():
+                demand_rec[pair_idx[pair], e] = d
+            ready = {code: self._pools[code].ready_count(now)
+                     for code in self.codes}
+            containers[:, e] = [ready[c] for c in self.codes]
+
+            output = None
+            if self.controller is not None:
+                self._push_reports(now)
+                output = self.controller.run_epoch(now, matrix, ready)
+                if self.variant.elastic:
+                    for code, target in output.capacity.target.items():
+                        self._pools[code].scale_to(target, now)
+                for a in output.path_result.assignments:
+                    normal_hops.append((len(a.path.hops), a.mbps))
+
+            cache = _EpochLinkCache(
+                self.underlay, now, epoch_end, cfg.eval_step_s,
+                cfg.monitoring, cfg.reaction, self._streams,
+                enable_reaction=self.variant.fast_reaction)
+            sl = slice(e * steps_per_epoch, (e + 1) * steps_per_epoch)
+            rep_paths = self._representative_paths(output)
+            # Route churn: how many pairs changed representative paths.
+            if prev_paths:
+                changed = sum(
+                    1 for pair, (path, __) in rep_paths.items()
+                    if prev_paths.get(pair) != path.hops)
+                churn[e] = changed / len(rep_paths)
+            prev_paths = {pair: path.hops
+                          for pair, (path, __) in rep_paths.items()}
+            self._evaluate_epoch(output, matrix, cache, sl, latency, loss,
+                                 backup, pair_idx, ledger, e, internet_gb,
+                                 premium_gb, reaction_hops, cfg.epoch_s,
+                                 rep_paths)
+
+        if self.variant.overlay_relaying:
+            end = start_s + n_epochs * cfg.epoch_s
+            for code, pool in self._pools.items():
+                ledger.add_container_hours(code, pool.container_hours(end))
+
+        return SimulationResult(
+            variant=self.variant, pairs=list(self.pairs),
+            region_codes=list(self.codes), eval_step_s=cfg.eval_step_s,
+            epoch_s=cfg.epoch_s, times=times, latency_ms=latency,
+            loss_rate=loss, on_backup=backup, epoch_starts=epoch_starts,
+            demand_mbps=demand_rec, containers=containers, ledger=ledger,
+            normal_hop_samples=normal_hops,
+            reaction_hop_samples=reaction_hops,
+            internet_gb_per_epoch=internet_gb,
+            premium_gb_per_epoch=premium_gb,
+            path_change_fraction=churn)
+
+    # -------------------------------------------------------------- internal
+    def _push_reports(self, now: float) -> None:
+        """Group-based monitoring: R noisy representative measurements per
+        directed link, median-aggregated into one NIB report."""
+        assert self.controller is not None
+        rng = self._streams.get("monitor.noise")
+        reports = []
+        reps = self.sim_config.monitoring.representatives
+        for lt in (LinkType.INTERNET, LinkType.PREMIUM):
+            for link in self.underlay.links_of_type(lt):
+                true_lat = float(link.latency_ms(now))
+                true_loss = float(link.loss_rate(now))
+                measurements = [
+                    (true_lat * float(rng.uniform(0.97, 1.03)),
+                     min(max(true_loss * float(rng.uniform(0.8, 1.2)), 0.0),
+                         1.0))
+                    for __ in range(reps)]
+                reports.append(self._grouping.aggregate(
+                    link.src.code, link.dst.code, lt, measurements, now))
+        self.controller.nib.update_many(reports)
+
+    def _representative_paths(self, output: Optional[ControlOutput]
+                              ) -> Dict[RegionPair, Tuple[OverlayPath,
+                                                          Optional[int]]]:
+        """Best (highest-Mbps) assignment per pair, else a direct path."""
+        chosen: Dict[RegionPair, Tuple[OverlayPath, Optional[int], float]] = {}
+        if output is not None:
+            for a in output.path_result.assignments:
+                key = (a.stream.src, a.stream.dst)
+                if key not in chosen or a.mbps > chosen[key][2]:
+                    chosen[key] = (a.path, a.stream.stream_id, a.mbps)
+        fallback_type = (LinkType.INTERNET if self.variant.internet_allowed
+                         else LinkType.PREMIUM)
+        result: Dict[RegionPair, Tuple[OverlayPath, Optional[int]]] = {}
+        for pair in self.pairs:
+            if pair in chosen:
+                path, sid, __ = chosen[pair]
+                result[pair] = (path, sid)
+            else:
+                result[pair] = (OverlayPath.direct(pair[0], pair[1],
+                                                   fallback_type), None)
+        return result
+
+    def _evaluate_epoch(self, output: Optional[ControlOutput],
+                        matrix: TrafficMatrix, cache: _EpochLinkCache,
+                        sl: slice, latency: np.ndarray, loss: np.ndarray,
+                        backup: np.ndarray, pair_idx: Dict[RegionPair, int],
+                        ledger: PairCostLedger, epoch: int,
+                        internet_gb: np.ndarray, premium_gb: np.ndarray,
+                        reaction_hops: List[Tuple[int, float]],
+                        epoch_s: float,
+                        rep_paths: Dict[RegionPair,
+                                        Tuple[OverlayPath,
+                                              Optional[int]]]) -> None:
+        plans = output.reaction_plans if output is not None else {}
+
+        for pair, (path, stream_id) in rep_paths.items():
+            def plan_for(region: str):
+                if stream_id is None:
+                    return None
+                plan = plans.get((stream_id, region))
+                return plan.relay_regions if plan is not None else None
+
+            series = effective_path_series(
+                path, cache.times, cache.series, cache.reaction, plan_for,
+                enable_reaction=self.variant.fast_reaction)
+            i = pair_idx[pair]
+            latency[i, sl] = series.latency_ms
+            loss[i, sl] = series.loss_rate
+            backup[i, sl] = series.on_backup
+
+            # ---- cost attribution --------------------------------------
+            d = matrix.get(*pair)
+            if d <= 0:
+                continue
+            frac_backup = series.backup_fraction
+            normal_d = d * (1.0 - frac_backup)
+            for (a, b, t) in path.hops:
+                if t is LinkType.INTERNET:
+                    ledger.add_internet_traffic_for_pair(pair, a, normal_d,
+                                                         epoch_s)
+                    internet_gb[epoch] += normal_d * epoch_s / 8000.0
+                else:
+                    ledger.add_premium_traffic_for_pair(pair, a, b, normal_d,
+                                                        epoch_s)
+                    premium_gb[epoch] += normal_d * epoch_s / 8000.0
+            if frac_backup > 0:
+                # Reaction traffic: billed on the backup premium path
+                # (approximated by its first-hop plan; the measured mean
+                # reaction hop count is ~1.04, §6.3).
+                relays = plan_for(path.regions[0]) or (pair[1],)
+                backup_regions = (path.regions[0],) + tuple(relays)
+                reacted = d * frac_backup
+                for a, b in zip(backup_regions[:-1], backup_regions[1:]):
+                    ledger.add_premium_traffic_for_pair(pair, a, b, reacted,
+                                                        epoch_s)
+                    premium_gb[epoch] += reacted * epoch_s / 8000.0
+                reaction_hops.append((len(backup_regions) - 1, reacted))

@@ -1,0 +1,5 @@
+"""Cost accounting: egress billing and container expenses (§6.3)."""
+
+from repro.cost.accounting import CostBreakdown, CostLedger, PairCostLedger
+
+__all__ = ["CostLedger", "PairCostLedger", "CostBreakdown"]

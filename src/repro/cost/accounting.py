@@ -1,0 +1,140 @@
+"""The cost ledger.
+
+Cloud network usage is billed as egress volume x unit fee: Internet fees
+per source region, premium fees per source-destination pair (§2.2).
+Containers bill per hour.  The ledger accumulates volumes during a
+simulation and prices them with the underlay's `PricingModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.underlay.pricing import PricingModel
+from repro.underlay.regions import RegionPair
+
+#: Mbps sustained for one second = this many gigabytes.
+GB_PER_MBPS_SECOND = 1.0 / 8000.0
+
+
+@dataclass
+class CostBreakdown:
+    """Priced totals of one ledger."""
+
+    internet_cost: float
+    premium_cost: float
+    container_cost: float
+
+    @property
+    def network_cost(self) -> float:
+        return self.internet_cost + self.premium_cost
+
+    @property
+    def total(self) -> float:
+        return self.network_cost + self.container_cost
+
+
+class CostLedger:
+    """Accumulates egress volumes and container hours."""
+
+    def __init__(self, pricing: PricingModel):
+        self.pricing = pricing
+        self._internet_gb: Dict[str, float] = {}
+        self._premium_gb: Dict[RegionPair, float] = {}
+        self._container_hours: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ add
+    def add_internet_traffic(self, src: str, mbps: float,
+                             duration_s: float) -> None:
+        """Bill `mbps` sustained for `duration_s` on `src`'s Internet link."""
+        self._check(mbps, duration_s)
+        gb = mbps * duration_s * GB_PER_MBPS_SECOND
+        self._internet_gb[src] = self._internet_gb.get(src, 0.0) + gb
+
+    def add_premium_traffic(self, src: str, dst: str, mbps: float,
+                            duration_s: float) -> None:
+        self._check(mbps, duration_s)
+        gb = mbps * duration_s * GB_PER_MBPS_SECOND
+        key = (src, dst)
+        self._premium_gb[key] = self._premium_gb.get(key, 0.0) + gb
+
+    def add_container_hours(self, region: str, hours: float) -> None:
+        if hours < 0:
+            raise ValueError(f"negative container hours {hours}")
+        self._container_hours[region] = (self._container_hours.get(region, 0.0)
+                                         + hours)
+
+    # ---------------------------------------------------------------- totals
+    def internet_gb(self) -> float:
+        return float(sum(self._internet_gb.values()))
+
+    def premium_gb(self) -> float:
+        return float(sum(self._premium_gb.values()))
+
+    def premium_traffic_share(self) -> float:
+        """Premium fraction of all transmitted volume (Fig. 17b)."""
+        total = self.internet_gb() + self.premium_gb()
+        return self.premium_gb() / total if total > 0 else 0.0
+
+    def breakdown(self) -> CostBreakdown:
+        internet = sum(self.pricing.internet_fee(src) * gb
+                       for src, gb in self._internet_gb.items())
+        premium = sum(self.pricing.premium_fee(src, dst) * gb
+                      for (src, dst), gb in self._premium_gb.items())
+        containers = self.pricing.container_cost(
+            sum(self._container_hours.values()))
+        return CostBreakdown(float(internet), float(premium),
+                             float(containers))
+
+    @staticmethod
+    def _check(mbps: float, duration_s: float) -> None:
+        if mbps < 0:
+            raise ValueError(f"negative traffic volume {mbps}")
+        if duration_s < 0:
+            raise ValueError(f"negative duration {duration_s}")
+
+
+class PairCostLedger(CostLedger):
+    """A ledger that additionally attributes volumes to ordered pairs.
+
+    Needed for Fig. 17d, which plots the *distribution over region pairs*
+    of normalised cost for each system version.
+    """
+
+    def __init__(self, pricing: PricingModel):
+        super().__init__(pricing)
+        self._pair_internet_gb: Dict[Tuple[RegionPair, str], float] = {}
+        self._pair_premium_gb: Dict[Tuple[RegionPair, RegionPair], float] = {}
+
+    def add_internet_traffic_for_pair(self, pair: RegionPair, hop_src: str,
+                                      mbps: float, duration_s: float) -> None:
+        """Internet egress at `hop_src` serving traffic of `pair`."""
+        self.add_internet_traffic(hop_src, mbps, duration_s)
+        key = (pair, hop_src)
+        gb = mbps * duration_s * GB_PER_MBPS_SECOND
+        self._pair_internet_gb[key] = self._pair_internet_gb.get(key, 0.0) + gb
+
+    def add_premium_traffic_for_pair(self, pair: RegionPair, hop_src: str,
+                                     hop_dst: str, mbps: float,
+                                     duration_s: float) -> None:
+        self.add_premium_traffic(hop_src, hop_dst, mbps, duration_s)
+        key = (pair, (hop_src, hop_dst))
+        gb = mbps * duration_s * GB_PER_MBPS_SECOND
+        self._pair_premium_gb[key] = self._pair_premium_gb.get(key, 0.0) + gb
+
+    def pair_cost(self, pair: RegionPair) -> float:
+        """Total network cost attributed to one ordered pair."""
+        cost = 0.0
+        for (p, hop_src), gb in self._pair_internet_gb.items():
+            if p == pair:
+                cost += self.pricing.internet_fee(hop_src) * gb
+        for (p, (a, b)), gb in self._pair_premium_gb.items():
+            if p == pair:
+                cost += self.pricing.premium_fee(a, b) * gb
+        return float(cost)
+
+    def all_pair_costs(self) -> Dict[RegionPair, float]:
+        pairs = {p for (p, __) in self._pair_internet_gb}
+        pairs |= {p for (p, __) in self._pair_premium_gb}
+        return {p: self.pair_cost(p) for p in sorted(pairs)}

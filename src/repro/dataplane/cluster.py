@@ -1,0 +1,155 @@
+"""A region's gateway cluster with group-based probing (§4.1).
+
+`RegionCluster` owns the gateways of one region.  Only the elected
+representatives run active probing; their per-link estimates are
+median-aggregated into the *group state*, which is (a) pushed to the
+non-representative gateways so their local fast reaction sees the same
+degradation verdicts, and (b) reported to the controller's NIB.  This is
+the mechanism that turns O(N(N-1)M^2) probe streams into O(N(N-1)R).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.controlplane.nib import LinkReport
+from repro.dataplane.config import MonitoringConfig, ReactionConfig
+from repro.dataplane.gateway import ForwardDecision, Gateway
+from repro.dataplane.grouping import ProbingGroupManager
+from repro.underlay.linkstate import LinkType
+from repro.underlay.topology import Underlay
+
+
+class RegionCluster:
+    """All gateways of one region plus the probing-group machinery."""
+
+    def __init__(self, region: str, underlay: Underlay, *,
+                 initial_gateways: int = 2,
+                 monitoring: Optional[MonitoringConfig] = None,
+                 reaction: Optional[ReactionConfig] = None,
+                 rng: Optional[np.random.Generator] = None):
+        if initial_gateways < 1:
+            raise ValueError("a cluster needs at least one gateway")
+        self.region = region
+        self.underlay = underlay
+        self.monitoring = (monitoring if monitoring is not None
+                           else MonitoringConfig())
+        self.reaction = reaction if reaction is not None else ReactionConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._grouping = ProbingGroupManager(
+            underlay.codes, self.monitoring.representatives)
+        self._next_gateway_id = 0
+        self.gateways: Dict[int, Gateway] = {}
+        self._rr_index = 0
+        for __ in range(initial_gateways):
+            self._add_gateway()
+
+    # ---------------------------------------------------------------- fleet
+    def _add_gateway(self) -> Gateway:
+        gid = self._next_gateway_id
+        self._next_gateway_id += 1
+        gateway = Gateway(self.region, gid, self.underlay,
+                          monitoring=self.monitoring, reaction=self.reaction,
+                          rng=np.random.default_rng(
+                              int(self._rng.integers(2 ** 32))))
+        self.gateways[gid] = gateway
+        return gateway
+
+    def scale_to(self, target: int) -> None:
+        """Event-mode scaling: adjust the gateway count immediately.
+
+        (Provisioning delays are modelled by `elastic.ContainerPool`; the
+        event simulator applies them before calling this.)
+        """
+        if target < 1:
+            raise ValueError("cannot scale a cluster below one gateway")
+        while len(self.gateways) < target:
+            gateway = self._add_gateway()
+            # New gateways inherit the current tables of a sibling.
+            sibling = next(iter(self.gateways.values()))
+            if sibling is not gateway:
+                gateway.table.install(
+                    {e.stream_id: (e.next_hop, e.link_type)
+                     for e in sibling.table.entries()})
+        while len(self.gateways) > target:
+            # Remove the newest gateways first (stable representatives).
+            victim = max(self.gateways)
+            del self.gateways[victim]
+
+    @property
+    def size(self) -> int:
+        return len(self.gateways)
+
+    def representatives(self) -> List[Gateway]:
+        ids = self._grouping.elect(self.region, list(self.gateways))
+        return [self.gateways[i] for i in ids]
+
+    # ----------------------------------------------------------- monitoring
+    def probe_round(self, now: float) -> List[LinkReport]:
+        """One group-based probing round.
+
+        Representatives probe every adjacent link of both tiers; their
+        estimates are median-aggregated into group reports, the group
+        state is distributed to all member gateways, and the reports are
+        returned for the controller's NIB.
+        """
+        reps = self.representatives()
+        for rep in reps:
+            rep.probe_all(now)
+        reports: List[LinkReport] = []
+        for dst in self.underlay.codes:
+            if dst == self.region:
+                continue
+            for lt in (LinkType.INTERNET, LinkType.PREMIUM):
+                estimates = [rep.estimator(dst, lt).estimate()
+                             for rep in reps]
+                report = self._grouping.aggregate(self.region, dst, lt,
+                                                  estimates, now)
+                degraded_votes = sum(
+                    rep.estimator(dst, lt).degraded for rep in reps)
+                # Strict majority of representatives (median semantics).
+                degraded = degraded_votes * 2 > len(reps)
+                for gateway in self.gateways.values():
+                    if gateway in reps:
+                        continue
+                    gateway.estimator(dst, lt).apply_group_state(
+                        now, report.latency_ms, report.loss_rate, degraded)
+                reports.append(report)
+        return reports
+
+    def flush_passive(self, now: float) -> None:
+        for gateway in self.gateways.values():
+            gateway.flush_passive(now)
+
+    # ----------------------------------------------------------- forwarding
+    def install(self, entries: Dict[int, Tuple[str, LinkType]],
+                plans: Dict[int, Tuple[str, ...]]) -> None:
+        """Push a controller update to every gateway of the cluster."""
+        for gateway in self.gateways.values():
+            gateway.install_tables(entries, plans)
+
+    def forward(self, stream_id: int) -> Optional[ForwardDecision]:
+        """Resolve a stream via one of the gateways (round robin)."""
+        if not self.gateways:
+            return None
+        ids = sorted(self.gateways)
+        gid = ids[self._rr_index % len(ids)]
+        self._rr_index += 1
+        return self.gateways[gid].forward(stream_id)
+
+    # ------------------------------------------------------------ telemetry
+    def probe_bytes(self) -> int:
+        return sum(g.probe_bytes_sent for g in self.gateways.values())
+
+    def degradation_detections(self) -> int:
+        """Total degradation triggers across representative estimators."""
+        total = 0
+        for rep in self.representatives():
+            for dst in self.underlay.codes:
+                if dst == self.region:
+                    continue
+                for lt in (LinkType.INTERNET, LinkType.PREMIUM):
+                    total += rep.estimator(dst, lt).degradation_count
+        return total

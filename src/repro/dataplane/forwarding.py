@@ -1,0 +1,151 @@
+"""Forwarding tables and the effective path under fast reaction.
+
+Forwarding tables map each video stream to (next hop region, link type);
+they are per-direction, which is what makes XRON's forwarding asymmetric
+(§4.2): the controller computes the two directions of a session as two
+independent streams over direction-specific link states.
+
+`effective_path_series` evaluates what a stream actually experienced over
+a time window: at instants where the gateway at some on-path region has
+flagged its outgoing link degraded, traffic follows that region's
+pre-computed premium backup plan instead of the rest of the normal path
+(§4.3).  The first degraded hop along the path wins — upstream gateways
+switch before downstream ones ever see the traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.controlplane.model import OverlayPath, PathHop
+from repro.underlay.linkstate import LinkType
+
+
+@dataclass(frozen=True)
+class ForwardingEntry:
+    """One row of a gateway's forwarding table."""
+
+    stream_id: int
+    next_hop: str
+    link_type: LinkType
+
+
+class ForwardingTable:
+    """Per-region forwarding state, updated by the controller each epoch."""
+
+    def __init__(self, region: str):
+        self.region = region
+        self._entries: Dict[int, ForwardingEntry] = {}
+        self.version = 0
+
+    def install(self, entries: Dict[int, Tuple[str, LinkType]]) -> None:
+        """Replace the table with a controller update."""
+        self._entries = {
+            sid: ForwardingEntry(sid, nxt, lt)
+            for sid, (nxt, lt) in entries.items()}
+        self.version += 1
+
+    def lookup(self, stream_id: int) -> Optional[ForwardingEntry]:
+        return self._entries.get(stream_id)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[ForwardingEntry]:
+        return [self._entries[k] for k in sorted(self._entries)]
+
+
+#: (lat array, loss array) for a hop over the evaluation grid.
+HopSeriesFn = Callable[[PathHop], Tuple[np.ndarray, np.ndarray]]
+#: Boolean 'outgoing link degraded' array for a hop over the grid.
+ReactionFn = Callable[[PathHop], np.ndarray]
+#: Backup relay sequence (excluding the reacting region) for a region.
+PlanFn = Callable[[str], Optional[Tuple[str, ...]]]
+
+
+@dataclass
+class EffectiveSeries:
+    """What a stream experienced over a window."""
+
+    times: np.ndarray
+    latency_ms: np.ndarray
+    loss_rate: np.ndarray
+    #: True where the stream rode a backup (premium) path.
+    on_backup: np.ndarray
+
+    @property
+    def backup_fraction(self) -> float:
+        return float(np.mean(self.on_backup)) if self.on_backup.size else 0.0
+
+
+def effective_path_series(path: OverlayPath, times: np.ndarray,
+                          hop_series: HopSeriesFn,
+                          reaction_active: ReactionFn,
+                          plan_for_region: PlanFn,
+                          enable_reaction: bool = True) -> EffectiveSeries:
+    """Evaluate a stream's end-to-end latency/loss over `times`.
+
+    With reaction enabled, scenario k means "hops before k are healthy,
+    hop k is degraded": traffic follows hops[:k] then the backup plan of
+    hop k's source region (all premium).  Scenario 'none' is the normal
+    path.  With at most a few hops per path the scenario set is tiny and
+    everything vectorises over the time grid.
+    """
+    times = np.asarray(times, dtype=float)
+    hop_lat: List[np.ndarray] = []
+    hop_loss: List[np.ndarray] = []
+    for hop in path.hops:
+        lat, loss = hop_series(hop)
+        hop_lat.append(lat)
+        hop_loss.append(loss)
+
+    normal_lat = np.sum(hop_lat, axis=0)
+    normal_survive = np.ones_like(normal_lat)
+    for loss in hop_loss:
+        normal_survive = normal_survive * (1.0 - loss)
+
+    if not enable_reaction:
+        zeros = np.zeros(times.size, dtype=bool)
+        return EffectiveSeries(times, normal_lat, 1.0 - normal_survive, zeros)
+
+    active = [reaction_active(hop) for hop in path.hops]
+
+    latency = normal_lat.copy()
+    survive = normal_survive.copy()
+    on_backup = np.zeros(times.size, dtype=bool)
+    taken = np.zeros(times.size, dtype=bool)
+
+    for k, hop in enumerate(path.hops):
+        # Scenario k fires where hop k is the FIRST degraded hop.
+        fires = active[k] & ~taken
+        for earlier in range(k):
+            fires &= ~active[earlier]
+        if not np.any(fires):
+            continue
+        region = hop[0]
+        relays = plan_for_region(region)
+        if relays is None:
+            relays = (path.dst,) if region != path.dst else ()
+        backup = OverlayPath.via((region,) + tuple(relays),
+                                 LinkType.PREMIUM) if relays else None
+        if backup is None:
+            continue
+        b_lat = np.zeros(times.size)
+        b_survive = np.ones(times.size)
+        for bhop in backup.hops:
+            lat, loss = hop_series(bhop)
+            b_lat = b_lat + lat
+            b_survive = b_survive * (1.0 - loss)
+        prefix_lat = np.sum(hop_lat[:k], axis=0) if k else np.zeros(times.size)
+        prefix_survive = np.ones(times.size)
+        for loss in hop_loss[:k]:
+            prefix_survive = prefix_survive * (1.0 - loss)
+        latency = np.where(fires, prefix_lat + b_lat, latency)
+        survive = np.where(fires, prefix_survive * b_survive, survive)
+        on_backup |= fires
+        taken |= fires
+
+    return EffectiveSeries(times, latency, 1.0 - survive, on_backup)

@@ -1,0 +1,122 @@
+"""The XRON gateway (event-mode object).
+
+A gateway is one container in a region: it monitors adjacent links
+(active probing via its `ActiveProber`s plus passive tracking), holds a
+forwarding table and the region's reaction plans, and answers "where does
+this stream go right now?" — switching to the premium backup when its
+monitoring has flagged the normal outgoing link degraded (§4.3), without
+asking the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dataplane.config import MonitoringConfig, ReactionConfig
+from repro.dataplane.estimator import LinkStateEstimator
+from repro.dataplane.forwarding import ForwardingTable
+from repro.dataplane.passive import PassiveTracker
+from repro.dataplane.probing import ActiveProber, ProbeBurst
+from repro.underlay.linkstate import LinkType
+from repro.underlay.topology import Underlay
+
+
+@dataclass(frozen=True)
+class ForwardDecision:
+    """Where a stream is sent right now."""
+
+    next_hop: str
+    link_type: LinkType
+    via_backup: bool
+
+
+class Gateway:
+    """One gateway container: monitoring + forwarding + local reaction."""
+
+    def __init__(self, region: str, gateway_id: int, underlay: Underlay,
+                 monitoring: Optional[MonitoringConfig] = None,
+                 reaction: Optional[ReactionConfig] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.region = region
+        self.gateway_id = int(gateway_id)
+        self.underlay = underlay
+        self.monitoring_config = (monitoring if monitoring is not None
+                                  else MonitoringConfig())
+        self.reaction_config = (reaction if reaction is not None
+                                else ReactionConfig())
+        self._rng = rng if rng is not None else np.random.default_rng(gateway_id)
+        self.table = ForwardingTable(region)
+        self.passive = PassiveTracker()
+        #: Reaction plans for streams traversing this region:
+        #: stream_id -> relay sequence to destination.
+        self._plans: Dict[int, Tuple[str, ...]] = {}
+        self._probers: Dict[Tuple[str, LinkType], ActiveProber] = {}
+        self._estimators: Dict[Tuple[str, LinkType], LinkStateEstimator] = {}
+        for dst in underlay.codes:
+            if dst == region:
+                continue
+            for lt in (LinkType.INTERNET, LinkType.PREMIUM):
+                link = underlay.link(region, dst, lt)
+                self._probers[(dst, lt)] = ActiveProber(
+                    link, self.monitoring_config, self._rng)
+                self._estimators[(dst, lt)] = LinkStateEstimator(
+                    self.monitoring_config, self.reaction_config)
+
+    # ------------------------------------------------------------ monitoring
+    def probe_all(self, now: float) -> List[ProbeBurst]:
+        """One probing round over all adjacent links (both types)."""
+        bursts = []
+        for key, prober in sorted(self._probers.items(),
+                                  key=lambda kv: (kv[0][0], kv[0][1].value)):
+            burst = prober.probe(now)
+            self._estimators[key].ingest_burst(burst)
+            bursts.append(burst)
+        return bursts
+
+    def flush_passive(self, now: float) -> None:
+        """Fold aggregated passive samples into the estimators."""
+        for sample in self.passive.flush(now):
+            src, dst, lt = sample.link
+            if src != self.region:
+                continue
+            self._estimators[(dst, lt)].ingest_passive(
+                sample.time, sample.latency_ms, sample.loss_rate)
+
+    def estimator(self, dst: str, link_type: LinkType) -> LinkStateEstimator:
+        return self._estimators[(dst, link_type)]
+
+    def link_degraded(self, dst: str, link_type: LinkType) -> bool:
+        return self._estimators[(dst, link_type)].degraded
+
+    # ------------------------------------------------------------ forwarding
+    def install_tables(self, entries: Dict[int, Tuple[str, LinkType]],
+                       plans: Dict[int, Tuple[str, ...]]) -> None:
+        """Apply a controller update: forwarding entries + reaction plans."""
+        self.table.install(entries)
+        self._plans = dict(plans)
+
+    def forward(self, stream_id: int) -> Optional[ForwardDecision]:
+        """Resolve a stream's current next hop, applying local reaction.
+
+        Returns None for unknown streams (the caller drops or buffers).
+        """
+        entry = self.table.lookup(stream_id)
+        if entry is None:
+            return None
+        if (self.reaction_config.enabled
+                and self.link_degraded(entry.next_hop, entry.link_type)):
+            relays = self._plans.get(stream_id)
+            if relays:
+                return ForwardDecision(relays[0], LinkType.PREMIUM, True)
+            # No plan (e.g. the degradation predates the first plan push):
+            # fall back to the direct premium link toward the same next hop.
+            return ForwardDecision(entry.next_hop, LinkType.PREMIUM, True)
+        return ForwardDecision(entry.next_hop, entry.link_type, False)
+
+    # ------------------------------------------------------------------ cost
+    @property
+    def probe_bytes_sent(self) -> int:
+        return sum(p.bytes_sent for p in self._probers.values())

@@ -1,0 +1,71 @@
+"""Group-based probing (§4.1).
+
+Full-mesh probing between all gateways of all regions costs
+O(N(N-1)M^2) probe streams for N regions of M gateways.  Because links of
+the same region pair share quality most of the time (Fig. 7), XRON groups
+each region's gateways and elects R representatives per region pair; only
+representatives run full active probing, and their reports are aggregated
+(median) into the group-level link state sent to the controller —
+O(N(N-1)R) probe streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.controlplane.nib import LinkReport
+from repro.underlay.linkstate import LinkType
+
+
+def probing_cost(n_regions: int, gateways_per_region: int,
+                 representatives: int = 0) -> int:
+    """Probe-stream count: full mesh if `representatives` == 0, else grouped.
+
+    Full:    N(N-1) M^2 directed gateway-to-gateway probe streams.
+    Grouped: N(N-1) R.
+    """
+    if n_regions < 2:
+        raise ValueError("need at least two regions")
+    pair_count = n_regions * (n_regions - 1)
+    if representatives <= 0:
+        return pair_count * gateways_per_region ** 2
+    return pair_count * representatives
+
+
+class ProbingGroupManager:
+    """Elects representatives and aggregates their reports per region pair."""
+
+    def __init__(self, codes: Sequence[str], representatives: int = 2):
+        if representatives < 1:
+            raise ValueError("need at least one representative")
+        self.codes = list(codes)
+        self.representatives = int(representatives)
+
+    def elect(self, region: str, gateway_ids: Sequence[int]) -> List[int]:
+        """Choose R representatives among a region's gateways.
+
+        Deterministic (lowest ids) so elections are stable across epochs
+        unless gateways come and go; production systems prefer stability
+        to spread the probing load predictably.
+        """
+        if not gateway_ids:
+            raise ValueError(f"region {region} has no gateways")
+        return sorted(gateway_ids)[:self.representatives]
+
+    def aggregate(self, src: str, dst: str, link_type: LinkType,
+                  measurements: Sequence[Tuple[float, float]],
+                  now: float) -> LinkReport:
+        """Median-aggregate representative measurements into one report.
+
+        The median is robust to one representative landing on an
+        idiosyncratically-bad gateway link (Fig. 7 shows such divergence
+        is rare but real).
+        """
+        if not measurements:
+            raise ValueError("no measurements to aggregate")
+        lat = float(np.median([m[0] for m in measurements]))
+        loss = float(np.median([m[1] for m in measurements]))
+        return LinkReport(src, dst, link_type, lat, min(max(loss, 0.0), 1.0),
+                          now)

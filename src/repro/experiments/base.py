@@ -1,0 +1,59 @@
+"""Shared experiment plumbing: formatting and common builders."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.traffic.demand import DemandModel
+from repro.underlay.regions import default_regions
+from repro.underlay.topology import Underlay, build_underlay
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> List[str]:
+    """Plain-text aligned table, one string per line."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return lines
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def cdf_summary(values: Sequence[float],
+                quantiles=(0.1, 0.25, 0.5, 0.75, 0.9)) -> List[float]:
+    """Quantile row summarising a CDF for text output."""
+    v = np.asarray(values, dtype=float)
+    return [float(np.quantile(v, q)) for q in quantiles]
+
+
+def standard_underlay(seed: int = 1) -> Underlay:
+    """The canonical 11-region underlay used across experiments."""
+    return build_underlay(seed=seed)
+
+
+def standard_demand(seed: int = 3) -> DemandModel:
+    """The canonical demand model used across experiments."""
+    return DemandModel(default_regions(), seed=seed)

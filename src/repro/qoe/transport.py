@@ -1,0 +1,113 @@
+"""Transport-level recovery: FEC and retransmission delay (§2.2).
+
+The paper's mechanism for video stalls: "when the loss rate is high,
+lost packets cannot be recovered by error correction codes and it would
+take a few round-trip times (RTTs) for retransmission, causing video
+stalls on the user side."  This module models that pipeline explicitly:
+
+* forward error correction with a configurable redundancy overhead
+  repairs random loss up to a breakeven point;
+* packets FEC cannot repair are retransmitted, arriving a few RTTs late;
+* a frame is late when any of its packets is late; the receiver's jitter
+  buffer absorbs lateness up to its depth, beyond which the video stalls.
+
+It yields a *derived* stall classification that agrees with the simpler
+threshold model (`qoe.video`) on ordering but is driven by physical
+parameters (FEC overhead, RTT, buffer depth) instead of fixed cutoffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class TransportConfig:
+    """Parameters of the FEC + retransmission pipeline."""
+
+    #: FEC redundancy overhead (0.25 = 25% repair packets).
+    fec_overhead: float = 0.25
+    #: Fraction of the theoretical FEC budget usable against *bursty*
+    #: loss (random-loss codes do worse on bursts).
+    fec_efficiency: float = 0.35
+    #: RTTs a retransmission takes (detection + resend).
+    retransmit_rtts: float = 1.5
+    #: Packets per video frame (one lost packet stalls the whole frame).
+    packets_per_frame: int = 4
+    #: Receiver jitter-buffer depth, ms.
+    jitter_buffer_ms: float = 250.0
+
+    def __post_init__(self) -> None:
+        if self.fec_overhead < 0:
+            raise ValueError("FEC overhead cannot be negative")
+        if not 0 < self.fec_efficiency <= 1:
+            raise ValueError("FEC efficiency must be in (0, 1]")
+        if self.packets_per_frame < 1:
+            raise ValueError("a frame needs at least one packet")
+
+    @property
+    def recoverable_loss(self) -> float:
+        """Loss rate FEC fully repairs: overhead/(1+overhead), derated."""
+        ideal = self.fec_overhead / (1.0 + self.fec_overhead)
+        return ideal * self.fec_efficiency
+
+
+def residual_loss(loss_rate, config: TransportConfig = TransportConfig()
+                  ) -> np.ndarray:
+    """Loss remaining after FEC repair.
+
+    Below the recoverable point FEC repairs everything; above it, repair
+    capacity is consumed and the excess passes through (plus the repair
+    packets themselves start getting lost, so residual approaches the raw
+    rate at extreme loss).
+    """
+    loss = np.asarray(loss_rate, dtype=float)
+    cap = config.recoverable_loss
+    over = np.maximum(loss - cap, 0.0)
+    # Repair degrades linearly once saturated: at loss = 3*cap nothing is
+    # repaired any more.
+    repair = np.clip(1.0 - over / np.maximum(2.0 * cap, 1e-9), 0.0, 1.0)
+    return np.clip(loss - cap * repair, 0.0, 1.0)
+
+
+def frame_late_probability(loss_rate,
+                           config: TransportConfig = TransportConfig()
+                           ) -> np.ndarray:
+    """Probability a frame needs retransmission (any packet unrepaired)."""
+    res = residual_loss(loss_rate, config)
+    return 1.0 - (1.0 - res) ** config.packets_per_frame
+
+
+def expected_frame_delay_ms(latency_ms, loss_rate,
+                            config: TransportConfig = TransportConfig()
+                            ) -> np.ndarray:
+    """Expected frame delivery delay: one-way latency plus the expected
+    retransmission penalty (RTT = 2 x one-way)."""
+    lat = np.asarray(latency_ms, dtype=float)
+    p_late = frame_late_probability(loss_rate, config)
+    retx_penalty = config.retransmit_rtts * 2.0 * lat
+    return lat + p_late * retx_penalty
+
+
+def transport_stall_series(latency_ms, loss_rate,
+                           config: TransportConfig = TransportConfig(),
+                           late_frame_tolerance: float = 0.15) -> np.ndarray:
+    """Stall classification from transport physics.
+
+    A sample stalls when the *typical late frame* would overrun the
+    jitter buffer and late frames are frequent enough (more than
+    `late_frame_tolerance` of frames) that concealment cannot hide them —
+    or when even on-time frames exceed the buffer (pure latency stall).
+    """
+    lat = np.asarray(latency_ms, dtype=float)
+    loss = np.asarray(loss_rate, dtype=float)
+    if lat.shape != loss.shape:
+        raise ValueError("latency and loss series must align")
+    p_late = frame_late_probability(loss, config)
+    late_frame_delay = lat * (1.0 + config.retransmit_rtts * 2.0)
+    buffer_overrun = late_frame_delay > lat + config.jitter_buffer_ms
+    frequent = p_late > late_frame_tolerance
+    latency_stall = lat > config.jitter_buffer_ms + 150.0
+    return (buffer_overrun & frequent) | latency_stall

@@ -1,0 +1,19 @@
+"""Discrete-event simulation kernel used by every other subpackage.
+
+The kernel is deliberately small: an event queue with a virtual clock
+(`Simulator`), plus deterministic random-number utilities (`rng`).  All of
+XRON's time-driven behaviour — probing loops, controller epochs, reaction
+timers, container provisioning — is expressed as events on one `Simulator`.
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.rng import RngStreams, hash_noise, hash_uniform
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "RngStreams",
+    "hash_noise",
+    "hash_uniform",
+]

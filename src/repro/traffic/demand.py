@@ -1,0 +1,194 @@
+"""The three-peak traffic-demand model.
+
+Demand from region i to region j at time t is
+
+    rate(i, j, t) = scale_ij x shape(local hour of i, local hour of j)
+                    x weekly(t) x noise_ij(t) x surge_ij(t) + floor
+
+where `shape` is a sum of three Gaussians at the configured peak hours
+(meetings happen in the *participants'* working hours, so we use the mean
+of the source and destination bumps: cross-continent pairs get demand when
+either side is awake, damped when the other sleeps), `weekly` drops
+weekends, `noise` is slow lognormal jitter and `surge` models meeting
+blocks starting (a several-fold jump within five minutes).
+
+Everything is a pure function of (seed, pair, t): no state, so any window
+of any day can be sampled directly — exactly like the underlay processes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.rng import RngStreams, hash_noise, hash_uniform
+from repro.traffic.config import TrafficConfig
+from repro.underlay.regions import Region, RegionPair
+
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+def three_peak_shape(hours_local, peak_hours, peak_amps,
+                     width_h: float) -> np.ndarray:
+    """Sum-of-Gaussians daily shape in [0, ~1], with period 24 h."""
+    h = np.asarray(hours_local, dtype=float) % 24.0
+    total = np.zeros_like(h)
+    for centre, amp in zip(peak_hours, peak_amps):
+        # Wrap-around distance on the 24 h circle.
+        d = np.minimum(np.abs(h - centre), 24.0 - np.abs(h - centre))
+        total = total + amp * np.exp(-0.5 * (d / width_h) ** 2)
+    return total
+
+
+class DemandModel:
+    """Deterministic per-pair demand process (Mbps)."""
+
+    def __init__(self, regions: List[Region],
+                 config: Optional[TrafficConfig] = None, seed: int = 0):
+        if len(regions) < 2:
+            raise ValueError("demand model needs at least two regions")
+        self.regions = list(regions)
+        self.config = config if config is not None else TrafficConfig()
+        self._streams = RngStreams(seed)
+        self._offset = {r.code: r.utc_offset for r in regions}
+
+        # Per-pair scale (peak Mbps) and a distinct noise seed.  The scale
+        # carries the China-centric activity weights: DingTalk's heavy
+        # pairs are China-China and China-X.
+        self._scale = {}
+        self._noise_seed = {}
+        for a in regions:
+            for b in regions:
+                if a.code == b.code:
+                    continue
+                key = f"traffic.{a.code}->{b.code}"
+                rng = self._streams.get(key)
+                weight = self._activity(a) * self._activity(b)
+                self._scale[(a.code, b.code)] = weight * float(
+                    rng.lognormal(self.config.pair_scale_mu,
+                                  self.config.pair_scale_sigma))
+                self._noise_seed[(a.code, b.code)] = self._streams.seed_for(key)
+
+    def _activity(self, region: Region) -> float:
+        """User-base weight of a region (DingTalk is China-centric)."""
+        cfg = self.config
+        if region.continent == "Asia" and region.utc_offset == 8.0:
+            return cfg.activity_china
+        if region.continent == "Asia":
+            return cfg.activity_asia
+        if region.continent == "Europe":
+            return cfg.activity_europe
+        if region.continent == "Australia":
+            return cfg.activity_australia
+        return cfg.activity_america
+
+    # ------------------------------------------------------------------ api
+    @property
+    def pairs(self) -> List[RegionPair]:
+        return [(a.code, b.code) for a in self.regions for b in self.regions
+                if a.code != b.code]
+
+    def pair_scale(self, src: str, dst: str) -> float:
+        """Peak-demand scale of a pair, Mbps."""
+        return self._scale[(src, dst)]
+
+    def rate_mbps(self, src: str, dst: str, t) -> np.ndarray:
+        """Demand rate from `src` to `dst` at time(s) `t`, Mbps."""
+        cfg = self.config
+        t = np.asarray(t, dtype=float)
+        h_src = (t / 3600.0 + self._offset[src]) % 24.0
+        h_dst = (t / 3600.0 + self._offset[dst]) % 24.0
+        shape_src = three_peak_shape(h_src, cfg.peak_hours, cfg.peak_amps,
+                                     cfg.peak_width_h)
+        shape_dst = three_peak_shape(h_dst, cfg.peak_hours, cfg.peak_amps,
+                                     cfg.peak_width_h)
+        # A conference needs participants on both sides awake: geometric
+        # mean couples the two diurnal cycles (with a small offset so a
+        # one-sided meeting is possible but rare).
+        off = cfg.shape_offset
+        shape = np.sqrt((shape_src + off) * (shape_dst + off))
+
+        weekly = self._weekly_factor(t)
+        noise = self._noise(src, dst, t)
+        surge = self._surge_factor(src, dst, t)
+        scale = self._scale[(src, dst)]
+        floor = cfg.floor_fraction * scale
+        return scale * shape * weekly * noise * surge + floor
+
+    def total_mbps(self, t) -> np.ndarray:
+        """Aggregate cross-region demand at time(s) `t` (Fig. 5a)."""
+        t = np.asarray(t, dtype=float)
+        total = np.zeros_like(t, dtype=float)
+        for (a, b) in self.pairs:
+            total = total + self.rate_mbps(a, b, t)
+        return total
+
+    # -------------------------------------------------------------- internal
+    def _weekly_factor(self, t: np.ndarray) -> np.ndarray:
+        day_index = np.floor(t / SECONDS_PER_DAY).astype(int) % 7
+        # Days 5 and 6 of each simulated week are the weekend.
+        return np.where(day_index >= 5, self.config.weekend_factor, 1.0)
+
+    def _noise(self, src: str, dst: str, t: np.ndarray) -> np.ndarray:
+        # Slow multiplicative noise: lognormal anchors every 30 minutes,
+        # linearly interpolated.  Aggregate conferencing demand wanders but
+        # does not jump tens of percent between adjacent 5-minute slots
+        # (sharp jumps are modelled separately as surges).
+        block_s = 1800.0
+        pos = np.asarray(t, dtype=float) / block_s
+        base = np.floor(pos)
+        frac = pos - base
+        seed = self._noise_seed[(src, dst)]
+        z0 = hash_noise(seed, base, salt=11)
+        z1 = hash_noise(seed, base + 1, salt=11)
+        z = z0 * (1.0 - frac) + z1 * frac
+        return np.exp(self.config.noise_sigma * z)
+
+    def _surge_factor(self, src: str, dst: str, t: np.ndarray) -> np.ndarray:
+        """Multiplier from surge events (meeting blocks).
+
+        Surges are *recurrent*: each pair has a few preferred meeting
+        times (scheduled dailies, weekly all-hands at the same hour), and
+        every weekday a surge fires near each preferred time with jittered
+        start, magnitude, and duration.  Demand jumps several-fold within
+        five minutes — but because the jump recurs at the same time each
+        day, a periodic (DTFT) predictor can anticipate it while reactive
+        scaling is surprised every single day (§5.1's rationale).
+        """
+        cfg = self.config
+        seed = self._noise_seed[(src, dst)] ^ 0x5157
+        n_slots = max(1, int(round(cfg.surges_per_day)))
+        result = np.ones_like(t, dtype=float)
+        day = np.floor(t / SECONDS_PER_DAY)
+        weekday = (day.astype(int) % 7) < 5
+        for i in range(n_slots):
+            # Preferred local hour in the source's business/evening span.
+            pref_h = 8.5 + hash_uniform(seed, np.array([float(i)]),
+                                        salt=21)[0] * 13.0
+            base_start = ((pref_h - self._offset[src]) % 24.0) * 3600.0
+            base_factor = (cfg.surge_factor_min
+                           + hash_uniform(seed, np.array([float(i)]),
+                                          salt=22)[0]
+                           * (cfg.surge_factor_max - cfg.surge_factor_min))
+            base_duration = (cfg.surge_duration_min_s
+                             + hash_uniform(seed, np.array([float(i)]),
+                                            salt=23)[0]
+                             * (cfg.surge_duration_max_s
+                                - cfg.surge_duration_min_s))
+            # Daily jitter: a couple of minutes on the start, ~20% on the
+            # magnitude and duration.
+            jit_start = (hash_uniform(seed, day, salt=31 + i) - 0.5) * 360.0
+            jit_mag = 0.8 + 0.4 * hash_uniform(seed, day, salt=41 + i)
+            jit_dur = 0.8 + 0.4 * hash_uniform(seed, day, salt=51 + i)
+            start = day * SECONDS_PER_DAY + base_start + jit_start
+            duration = base_duration * jit_dur
+            factor = 1.0 + (base_factor - 1.0) * jit_mag
+            dt = t - start
+            ramp = np.clip(dt / 300.0, 0.0, 1.0)
+            decay = np.clip(1.0 - (dt - duration) / 600.0, 0.0, 1.0)
+            envelope = np.where((dt >= 0) & weekday,
+                                np.minimum(ramp, decay), 0.0)
+            result = np.maximum(result, 1.0 + (factor - 1.0) * envelope)
+        return result

@@ -1,0 +1,67 @@
+"""Traffic matrices: a demand snapshot for one control epoch."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.traffic.demand import DemandModel
+from repro.underlay.regions import RegionPair
+
+
+class TrafficMatrix:
+    """Demand (Mbps) between every ordered region pair at one instant."""
+
+    def __init__(self, codes: List[str], demand: Dict[RegionPair, float]):
+        self.codes = list(codes)
+        self._demand: Dict[RegionPair, float] = {}
+        for (a, b), v in demand.items():
+            if a == b:
+                raise ValueError(f"self-pair {a}->{b} in traffic matrix")
+            if v < 0:
+                raise ValueError(f"negative demand {v} for {a}->{b}")
+            self._demand[(a, b)] = float(v)
+
+    @classmethod
+    def from_model(cls, model: DemandModel, t: float,
+                   scale: float = 1.0) -> "TrafficMatrix":
+        """Sample the demand model at instant `t` (optionally rescaled)."""
+        demand = {(a, b): float(model.rate_mbps(a, b, t)) * scale
+                  for (a, b) in model.pairs}
+        return cls([r.code for r in model.regions], demand)
+
+    def get(self, src: str, dst: str) -> float:
+        return self._demand.get((src, dst), 0.0)
+
+    def items(self) -> Iterator[Tuple[RegionPair, float]]:
+        return iter(sorted(self._demand.items()))
+
+    def total(self) -> float:
+        return float(sum(self._demand.values()))
+
+    def egress(self, region: str) -> float:
+        """Total demand originating at `region`."""
+        return float(sum(v for (a, __), v in self._demand.items() if a == region))
+
+    def ingress(self, region: str) -> float:
+        """Total demand terminating at `region`."""
+        return float(sum(v for (__, b), v in self._demand.items() if b == region))
+
+    def as_array(self) -> np.ndarray:
+        """Dense N x N array ordered like `self.codes` (diagonal zero)."""
+        index = {c: i for i, c in enumerate(self.codes)}
+        out = np.zeros((len(self.codes), len(self.codes)))
+        for (a, b), v in self._demand.items():
+            out[index[a], index[b]] = v
+        return out
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A copy with every entry multiplied by `factor`."""
+        if factor < 0:
+            raise ValueError(f"negative scale factor {factor}")
+        return TrafficMatrix(self.codes, {k: v * factor
+                                          for k, v in self._demand.items()})
+
+    def __len__(self) -> int:
+        return len(self._demand)

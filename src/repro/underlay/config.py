@@ -1,0 +1,140 @@
+"""Calibration constants for the synthetic underlay.
+
+Every number here is chosen to make the synthetic link processes reproduce
+the *measured* statistics in §2.2 of the paper (Figs. 1-4, 7-9): average
+latency/loss levels of Internet vs premium links, the heavy-tailed spikes,
+the short-vs-long degradation counts, directional asymmetry, intra-pair
+similarity, and the pricing gap.  The defaults are the calibrated values;
+tests in ``tests/underlay`` assert the reproduction targets hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class InternetLinkConfig:
+    """Parameters of Internet-link latency/loss processes (one direction)."""
+
+    #: Multiplier on the great-circle fibre delay; Internet routes detour.
+    stretch_min: float = 1.5
+    stretch_max: float = 2.6
+    #: Lognormal sigma of the per-second multiplicative latency jitter.
+    jitter_sigma: float = 0.10
+    #: Peak amplitude of the diurnal congestion latency factor.
+    diurnal_latency_amp: float = 0.25
+    #: Baseline random loss (fraction), before bursts.
+    base_loss_min: float = 0.0001
+    base_loss_max: float = 0.002
+    #: Peak amplitude of the diurnal loss addition (fraction) for a
+    #: badness-1 link; scaled superlinearly with badness when built.
+    diurnal_loss_amp: float = 0.0010
+
+    # --- degradation events (per-link Poisson arrivals) --------------------
+    #: Mean short (<30 s) degradation events per day for a badness-1 link.
+    short_events_per_day: float = 370.0
+    #: Mean long (>30 s) degradation events per day for a badness-1 link.
+    long_events_per_day: float = 2.8
+    #: Mean duration of short events, seconds (exponential).
+    short_duration_mean_s: float = 8.0
+    #: Long event durations: lognormal(mu, sigma) of seconds, shifted +30 s.
+    long_duration_mu: float = 4.6
+    long_duration_sigma: float = 1.2
+    #: Latency added during an event, ms: lognormal(mu, sigma).
+    event_latency_mu: float = 5.9
+    event_latency_sigma: float = 1.4
+    #: Loss added during an event (fraction): lognormal of ln(loss).
+    event_loss_mu: float = -3.6
+    event_loss_sigma: float = 1.1
+    #: Per-link heterogeneity: event rates are scaled by a Pareto factor so
+    #: a minority of links are much worse (Fig. 3's long tail).
+    badness_pareto_alpha: float = 1.6
+    badness_max: float = 8.0
+    #: Event *rate* scales as badness ** rate_exponent.
+    rate_exponent: float = 1.3
+    #: Diurnal loss amplitude scales as badness ** diurnal_loss_exponent.
+    diurnal_loss_exponent: float = 1.5
+
+
+@dataclass
+class PremiumLinkConfig:
+    """Parameters of premium-link processes (one direction)."""
+
+    stretch_min: float = 1.25
+    stretch_max: float = 1.55
+    jitter_sigma: float = 0.015
+    diurnal_latency_amp: float = 0.02
+    base_loss_min: float = 0.000005
+    base_loss_max: float = 0.00008
+    diurnal_loss_amp: float = 0.00002
+
+    short_events_per_day: float = 4.0
+    long_events_per_day: float = 0.05
+    short_duration_mean_s: float = 5.0
+    long_duration_mu: float = 4.0
+    long_duration_sigma: float = 0.8
+    event_latency_mu: float = 3.2
+    event_latency_sigma: float = 0.7
+    event_loss_mu: float = -5.2
+    event_loss_sigma: float = 0.8
+    badness_pareto_alpha: float = 3.0
+    badness_max: float = 2.5
+    rate_exponent: float = 1.0
+    diurnal_loss_exponent: float = 1.0
+
+
+@dataclass
+class SimilarityConfig:
+    """Per-gateway link instances within a region pair (Fig. 7).
+
+    A gateway-level link sees the *shared* pair timeline plus its own small
+    idiosyncratic event process; the shared part dominates, giving the
+    >=77% quality-state similarity the paper measures.
+    """
+
+    #: Idiosyncratic short events per day per gateway link (Internet).
+    idio_events_per_day: float = 170.0
+    idio_duration_mean_s: float = 7.0
+    #: Idiosyncratic latency/loss severities reuse the link-type lognormals
+    #: scaled by this factor.
+    idio_severity_scale: float = 0.7
+
+
+@dataclass
+class PricingConfig:
+    """Egress pricing (Fig. 4): premium median 7.6x Internet, max 11.4x."""
+
+    #: Internet unit egress fee range, normalised to the most expensive
+    #: Internet link (= 1.0).
+    internet_fee_min: float = 0.35
+    internet_fee_max: float = 1.0
+    #: Premium fee = Internet fee of the source region x a pair multiplier.
+    premium_multiplier_median: float = 7.6
+    premium_multiplier_max: float = 11.4
+    premium_multiplier_min: float = 4.5
+    #: Cost of one gateway container per hour, in the same normalised unit
+    #: as "fee x GB".  Containers are cheap relative to bandwidth (the
+    #: paper: bandwidth is >60% of operating cost).
+    container_cost_per_hour: float = 0.8
+
+
+@dataclass
+class UnderlayConfig:
+    """Top-level configuration of the synthetic underlay."""
+
+    internet: InternetLinkConfig = field(default_factory=InternetLinkConfig)
+    premium: PremiumLinkConfig = field(default_factory=PremiumLinkConfig)
+    similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
+    pricing: PricingConfig = field(default_factory=PricingConfig)
+
+    #: Horizon (seconds) for which degradation timelines are pre-generated.
+    #: Queries beyond the horizon raise, rather than silently extrapolating.
+    #: Multi-week experiments build one underlay per day (seeded by day
+    #: index) instead of one huge horizon.
+    horizon_s: float = 2 * 86400.0
+
+    #: Quality thresholds from the paper (§2.2): a link is "bad" when
+    #: latency > 400 ms or loss > 0.5%.
+    high_latency_ms: float = 400.0
+    high_loss_rate: float = 0.005

@@ -1,0 +1,79 @@
+"""Region-scale failure scenarios.
+
+Beyond per-link degradations, real clouds suffer region-scale incidents:
+a transit provider failure or region network incident degrades *every*
+link touching a region at once.  These helpers script such incidents for
+resilience studies — XRON's answer is overlay relaying through healthy
+regions plus fast reaction, the RON lineage the paper builds on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.underlay.events import DegradationEvent
+from repro.underlay.linkstate import LinkType
+from repro.underlay.scenarios import inject_events
+from repro.underlay.topology import Underlay
+
+
+def region_outage(underlay: Underlay, region: str, start_s: float,
+                  end_s: float, *,
+                  latency_add_ms: float = 3000.0,
+                  loss_add: float = 0.35,
+                  tiers: Sequence[LinkType] = (LinkType.INTERNET,),
+                  directions: str = "both",
+                  keep_existing: bool = True) -> int:
+    """Degrade every link touching `region` for [start_s, end_s).
+
+    `tiers` chooses which network tiers suffer (a transit incident hits
+    Internet links; a full region incident hits both).  `directions` is
+    "out", "in", or "both".  Returns the number of links affected.
+    """
+    if end_s <= start_s:
+        raise ValueError("outage must have positive duration")
+    if directions not in ("out", "in", "both"):
+        raise ValueError(f"unknown directions {directions!r}")
+    if region not in underlay.codes:
+        raise KeyError(f"unknown region {region!r}")
+    event = DegradationEvent(start_s, end_s - start_s, latency_add_ms,
+                             loss_add)
+    affected = 0
+    for other in underlay.codes:
+        if other == region:
+            continue
+        for tier in tiers:
+            if directions in ("out", "both"):
+                inject_events(underlay, region, other, tier, [event],
+                              keep_existing=keep_existing)
+                affected += 1
+            if directions in ("in", "both"):
+                inject_events(underlay, other, region, tier, [event],
+                              keep_existing=keep_existing)
+                affected += 1
+    return affected
+
+
+def transit_flap(underlay: Underlay, region: str, start_s: float,
+                 end_s: float, *, period_s: float = 120.0,
+                 flap_duration_s: float = 20.0,
+                 latency_add_ms: float = 1500.0,
+                 loss_add: float = 0.25) -> int:
+    """A flapping transit provider: periodic short outages on the
+    region's outgoing Internet links."""
+    if end_s <= start_s:
+        raise ValueError("window must have positive duration")
+    events: List[DegradationEvent] = []
+    t = start_s
+    while t < end_s:
+        events.append(DegradationEvent(t, flap_duration_s, latency_add_ms,
+                                       loss_add))
+        t += period_s
+    affected = 0
+    for other in underlay.codes:
+        if other == region:
+            continue
+        inject_events(underlay, region, other, LinkType.INTERNET, events,
+                      keep_existing=True)
+        affected += 1
+    return affected

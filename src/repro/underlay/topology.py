@@ -1,0 +1,136 @@
+"""The assembled underlay: all regions, all directed links, pricing.
+
+`build_underlay` draws every per-link random parameter (stretch, baseline
+loss, badness factor, degradation timeline) from named RNG streams, so an
+`Underlay` is fully determined by (regions, config, seed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.rng import RngStreams
+from repro.underlay.config import UnderlayConfig
+from repro.underlay.events import generate_timeline
+from repro.underlay.linkstate import LinkProcess, LinkType
+from repro.underlay.pricing import PricingModel
+from repro.underlay.regions import (Region, RegionPair, all_ordered_pairs,
+                                    default_regions, propagation_delay_ms)
+
+#: Key of a directed link: (src code, dst code, link type).
+LinkKey = Tuple[str, str, LinkType]
+
+
+class Underlay:
+    """All directed link processes between regions, plus pricing."""
+
+    def __init__(self, regions: List[Region],
+                 links: Dict[LinkKey, LinkProcess],
+                 pricing: PricingModel, config: UnderlayConfig):
+        self.regions = list(regions)
+        self.region_by_code = {r.code: r for r in regions}
+        self._links = dict(links)
+        self.pricing = pricing
+        self.config = config
+
+    # ------------------------------------------------------------------ api
+    @property
+    def codes(self) -> List[str]:
+        return [r.code for r in self.regions]
+
+    @property
+    def pairs(self) -> List[RegionPair]:
+        return all_ordered_pairs(self.regions)
+
+    def link(self, src: str, dst: str, link_type: LinkType) -> LinkProcess:
+        """The process for the directed link `src` -> `dst` of `link_type`."""
+        key = (src, dst, link_type)
+        if key not in self._links:
+            raise KeyError(f"no such link: {src}->{dst} ({link_type.value})")
+        return self._links[key]
+
+    def links_of_type(self, link_type: LinkType) -> Iterable[LinkProcess]:
+        """All directed links of one tier, in stable order."""
+        for (src, dst) in self.pairs:
+            yield self._links[(src, dst, link_type)]
+
+    def region(self, code: str) -> Region:
+        if code not in self.region_by_code:
+            raise KeyError(f"unknown region {code!r}")
+        return self.region_by_code[code]
+
+    def average_latency(self, link_type: LinkType, t) -> np.ndarray:
+        """Mean latency over all directed pairs at time(s) `t` (Fig. 1a)."""
+        samples = [lk.latency_ms(t) for lk in self.links_of_type(link_type)]
+        return np.mean(np.stack(samples), axis=0)
+
+    def average_loss(self, link_type: LinkType, t) -> np.ndarray:
+        """Mean loss rate over all directed pairs at time(s) `t` (Fig. 2a)."""
+        samples = [lk.loss_rate(t) for lk in self.links_of_type(link_type)]
+        return np.mean(np.stack(samples), axis=0)
+
+
+def build_underlay(regions: Optional[List[Region]] = None,
+                   config: Optional[UnderlayConfig] = None,
+                   seed: int = 0,
+                   pricing: Optional[PricingModel] = None,
+                   start_offset: float = 0.0) -> Underlay:
+    """Construct a deterministic synthetic underlay.
+
+    Each directed link of each type draws its own stretch factor, baseline
+    loss, badness factor (Pareto-tailed, so a minority of Internet links
+    are much worse — Fig. 3), and degradation timeline.  Pass `pricing`
+    to reuse an existing pricing model (multi-day studies rebuild link
+    processes daily, but egress fees do not change day to day).
+    """
+    regions = regions if regions is not None else default_regions()
+    if len(regions) < 2:
+        raise ValueError("an underlay needs at least two regions")
+    config = config if config is not None else UnderlayConfig()
+    streams = RngStreams(seed)
+
+    links: Dict[LinkKey, LinkProcess] = {}
+    for src in regions:
+        for dst in regions:
+            if src.code == dst.code:
+                continue
+            for link_type, lc in ((LinkType.INTERNET, config.internet),
+                                  (LinkType.PREMIUM, config.premium)):
+                key_str = f"underlay.{src.code}->{dst.code}.{link_type.value}"
+                rng = streams.get(key_str)
+                stretch = rng.uniform(lc.stretch_min, lc.stretch_max)
+                base_latency = propagation_delay_ms(src, dst, stretch)
+                base_loss = rng.uniform(lc.base_loss_min, lc.base_loss_max)
+                badness = min(float(rng.pareto(lc.badness_pareto_alpha)) + 1.0,
+                              lc.badness_max)
+                timeline = generate_timeline(
+                    rng, config.horizon_s,
+                    short_events_per_day=lc.short_events_per_day,
+                    long_events_per_day=lc.long_events_per_day,
+                    short_duration_mean_s=lc.short_duration_mean_s,
+                    long_duration_mu=lc.long_duration_mu,
+                    long_duration_sigma=lc.long_duration_sigma,
+                    event_latency_mu=lc.event_latency_mu,
+                    event_latency_sigma=lc.event_latency_sigma,
+                    event_loss_mu=lc.event_loss_mu,
+                    event_loss_sigma=lc.event_loss_sigma,
+                    rate_scale=badness ** lc.rate_exponent,
+                    severity_scale=1.0 + 0.12 * (badness - 1.0),
+                    start_offset=start_offset)
+                links[(src.code, dst.code, link_type)] = LinkProcess(
+                    src, dst, link_type,
+                    base_latency_ms=base_latency,
+                    jitter_sigma=lc.jitter_sigma,
+                    diurnal_latency_amp=lc.diurnal_latency_amp,
+                    base_loss=base_loss,
+                    diurnal_loss_amp=(lc.diurnal_loss_amp
+                                      * badness ** lc.diurnal_loss_exponent),
+                    timeline=timeline,
+                    noise_seed=streams.seed_for(key_str))
+
+    if pricing is None:
+        pricing = PricingModel(regions, config.pricing,
+                               streams.get("pricing"))
+    return Underlay(regions, links, pricing, config)

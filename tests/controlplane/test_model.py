@@ -1,0 +1,93 @@
+"""Tests for paths and the §5.2 problem model."""
+
+import pytest
+
+from repro.controlplane.model import (ControlConfig, ObjectiveBreakdown,
+                                      OverlayPath, path_latency_ms,
+                                      path_loss_rate)
+from repro.underlay.linkstate import LinkType
+
+I = LinkType.INTERNET
+P = LinkType.PREMIUM
+
+
+def _state(lat_map, loss_map=None):
+    loss_map = loss_map or {}
+
+    def state(a, b, t):
+        return (lat_map.get((a, b, t), 100.0),
+                loss_map.get((a, b, t), 0.0))
+    return state
+
+
+class TestOverlayPath:
+    def test_direct(self):
+        p = OverlayPath.direct("A", "B", I)
+        assert p.src == "A" and p.dst == "B"
+        assert p.relay_count == 0
+        assert p.regions == ("A", "B")
+
+    def test_via(self):
+        p = OverlayPath.via(["A", "B", "C"], P)
+        assert p.hops == (("A", "B", P), ("B", "C", P))
+        assert p.relay_count == 1
+
+    def test_via_needs_two_regions(self):
+        with pytest.raises(ValueError):
+            OverlayPath.via(["A"], I)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            OverlayPath(())
+
+    def test_disconnected_hops_rejected(self):
+        with pytest.raises(ValueError):
+            OverlayPath((("A", "B", I), ("C", "D", I)))
+
+    def test_mixed_link_types(self):
+        p = OverlayPath((("A", "B", I), ("B", "C", P)))
+        assert p.link_types == (I, P)
+        assert p.uses_premium()
+
+    def test_pure_internet_does_not_use_premium(self):
+        assert not OverlayPath.direct("A", "B", I).uses_premium()
+
+
+class TestPathMetrics:
+    def test_latency_sums_hops(self):
+        state = _state({("A", "B", I): 50.0, ("B", "C", I): 70.0})
+        p = OverlayPath.via(["A", "B", "C"], I)
+        assert path_latency_ms(p, state) == pytest.approx(120.0)
+
+    def test_loss_compounds(self):
+        state = _state({}, {("A", "B", I): 0.1, ("B", "C", I): 0.2})
+        p = OverlayPath.via(["A", "B", "C"], I)
+        assert path_loss_rate(p, state) == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_zero_loss(self):
+        p = OverlayPath.direct("A", "B", I)
+        assert path_loss_rate(p, _state({})) == 0.0
+
+    def test_loss_of_lossless_plus_lossy(self):
+        state = _state({}, {("A", "B", I): 0.0, ("B", "C", I): 0.5})
+        p = OverlayPath.via(["A", "B", "C"], I)
+        assert path_loss_rate(p, state) == pytest.approx(0.5)
+
+
+class TestControlConfig:
+    def test_latency_limit_floor(self):
+        cfg = ControlConfig(latency_limit_floor_ms=400.0,
+                            latency_limit_stretch=1.6)
+        assert cfg.latency_limit_ms(100.0) == 400.0
+
+    def test_latency_limit_stretch_for_far_pairs(self):
+        cfg = ControlConfig(latency_limit_floor_ms=400.0,
+                            latency_limit_stretch=1.6)
+        assert cfg.latency_limit_ms(300.0) == pytest.approx(480.0)
+
+
+class TestObjective:
+    def test_weighted_total(self):
+        obj = ObjectiveBreakdown(util_lat=2.0, util_cost=3.0,
+                                 weight_latency=1.0, weight_cost=2.0)
+        assert obj.total == pytest.approx(8.0)

@@ -1,0 +1,114 @@
+"""Tests for the network and stream information bases."""
+
+import numpy as np
+import pytest
+
+from repro.controlplane.nib import LinkReport, NetworkInformationBase
+from repro.controlplane.sib import StreamInformationBase
+from repro.traffic.matrix import TrafficMatrix
+from repro.underlay.linkstate import LinkType
+
+
+def _report(src="A", dst="B", lt=LinkType.INTERNET, lat=100.0, loss=0.01,
+            t=0.0):
+    return LinkReport(src, dst, lt, lat, loss, t)
+
+
+class TestLinkReport:
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            _report(lat=-1.0)
+
+    def test_rejects_loss_out_of_range(self):
+        with pytest.raises(ValueError):
+            _report(loss=1.5)
+
+
+class TestNIB:
+    def test_update_and_get(self):
+        nib = NetworkInformationBase()
+        nib.update(_report())
+        assert nib.latency_ms("A", "B", LinkType.INTERNET) == 100.0
+        assert nib.loss_rate("A", "B", LinkType.INTERNET) == 0.01
+
+    def test_directions_are_distinct(self):
+        nib = NetworkInformationBase()
+        nib.update(_report("A", "B", lat=100.0))
+        nib.update(_report("B", "A", lat=250.0))
+        assert nib.latency_ms("A", "B", LinkType.INTERNET) == 100.0
+        assert nib.latency_ms("B", "A", LinkType.INTERNET) == 250.0
+
+    def test_types_are_distinct(self):
+        nib = NetworkInformationBase()
+        nib.update(_report(lt=LinkType.INTERNET, lat=100.0))
+        nib.update(_report(lt=LinkType.PREMIUM, lat=80.0))
+        assert nib.latency_ms("A", "B", LinkType.PREMIUM) == 80.0
+
+    def test_newest_report_wins(self):
+        nib = NetworkInformationBase()
+        nib.update(_report(lat=100.0, t=10.0))
+        nib.update(_report(lat=200.0, t=5.0))  # older: ignored
+        assert nib.latency_ms("A", "B", LinkType.INTERNET) == 100.0
+        nib.update(_report(lat=300.0, t=20.0))
+        assert nib.latency_ms("A", "B", LinkType.INTERNET) == 300.0
+
+    def test_missing_link_raises(self):
+        nib = NetworkInformationBase()
+        with pytest.raises(KeyError):
+            nib.latency_ms("A", "B", LinkType.INTERNET)
+        assert nib.get("A", "B", LinkType.INTERNET) is None
+
+    def test_stale_links(self):
+        nib = NetworkInformationBase(max_staleness_s=30.0)
+        nib.update(_report(t=0.0))
+        assert nib.stale_links(now=10.0) == []
+        assert nib.stale_links(now=100.0) == [("A", "B", LinkType.INTERNET)]
+
+    def test_snapshot_is_a_copy(self):
+        nib = NetworkInformationBase()
+        nib.update(_report())
+        snap = nib.snapshot()
+        nib.update(_report(lat=999.0, t=99.0))
+        key = ("A", "B", LinkType.INTERNET)
+        assert snap[key].latency_ms == 100.0
+
+    def test_update_many_and_len(self):
+        nib = NetworkInformationBase()
+        nib.update_many([_report(), _report("B", "A")])
+        assert len(nib) == 2
+
+
+class TestSIB:
+    def _matrix(self, demand=10.0):
+        return TrafficMatrix(["A", "B"], {("A", "B"): demand,
+                                          ("B", "A"): demand / 2})
+
+    def test_record_and_predict(self):
+        sib = StreamInformationBase(["A", "B"], min_history=1)
+        sib.record_epoch(self._matrix(10.0))
+        predicted = sib.predicted_matrix()
+        # Persistence-with-safety until the DTFT has enough history.
+        assert predicted.get("A", "B") >= 10.0
+
+    def test_predict_before_any_record_raises(self):
+        sib = StreamInformationBase(["A", "B"])
+        with pytest.raises(RuntimeError):
+            sib.predicted_matrix()
+
+    def test_unknown_pair_rejected(self):
+        sib = StreamInformationBase(["A", "B"])
+        bad = TrafficMatrix(["A", "B", "C"], {("A", "C"): 1.0})
+        with pytest.raises(KeyError):
+            sib.record_epoch(bad)
+
+    def test_streams_stored(self):
+        from repro.traffic.streams import Stream, VIDEO_PROFILES
+        sib = StreamInformationBase(["A", "B"])
+        streams = [Stream(1, "A", "B", 5.0, VIDEO_PROFILES[0])]
+        sib.record_epoch(self._matrix(), streams)
+        assert len(sib.streams) == 1
+        assert sib.last_matrix is not None
+
+    def test_predictor_accessor(self):
+        sib = StreamInformationBase(["A", "B"])
+        assert sib.predictor("A", "B") is not sib.predictor("B", "A")

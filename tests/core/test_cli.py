@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import VARIANTS, build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_variant_choices_cover_all_factories():
+    from repro.core import variants
+    for factory_name in VARIANTS.values():
+        assert hasattr(variants, factory_name)
+
+
+def test_info_command(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "regions (11):" in out
+    assert "premium fee multiple" in out
+
+
+def test_run_command_small(capsys):
+    rc = main(["run", "--hours", "0.1", "--step", "30", "--epoch", "180",
+               "--variant", "premium-only", "--start-hour", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "stall ratio" in out
+    assert "premium share 100.0%" in out
+
+
+def test_experiments_only_selector(capsys):
+    rc = main(["experiments", "--only", "fig04"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Fig. 4" in out
+    assert "Fig. 5" not in out
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--variant", "warpspeed"])

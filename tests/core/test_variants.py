@@ -1,0 +1,60 @@
+"""Tests for system variant specifications."""
+
+import pytest
+
+from repro.core.variants import (VariantSpec, internet_only, premium_only,
+                                 standard_variants, xron, xron_basic,
+                                 xron_premium, xron_symmetric)
+
+
+def test_xron_is_fully_featured():
+    v = xron()
+    assert v.internet_allowed and v.premium_allowed
+    assert v.overlay_relaying and v.fast_reaction and v.elastic
+    assert not v.symmetric_only
+
+
+def test_internet_only_is_the_legacy_service():
+    v = internet_only()
+    assert not v.premium_allowed
+    assert not v.overlay_relaying
+    assert not v.fast_reaction
+    assert not v.elastic
+
+
+def test_premium_only_is_direct_premium():
+    v = premium_only()
+    assert not v.internet_allowed
+    assert not v.overlay_relaying
+
+
+def test_xron_basic_disables_only_reaction():
+    v = xron_basic()
+    assert not v.fast_reaction
+    assert v.overlay_relaying and v.elastic
+
+
+def test_xron_premium_restricts_tier():
+    v = xron_premium()
+    assert not v.internet_allowed
+    assert v.overlay_relaying
+
+
+def test_symmetric_flag():
+    assert xron_symmetric().symmetric_only
+
+
+def test_standard_trio_order():
+    names = [v.name for v in standard_variants()]
+    assert names == ["XRON", "Internet only", "Premium only"]
+
+
+def test_variant_must_allow_some_tier():
+    with pytest.raises(ValueError):
+        VariantSpec(name="broken", internet_allowed=False,
+                    premium_allowed=False)
+
+
+def test_reaction_requires_premium():
+    with pytest.raises(ValueError):
+        VariantSpec(name="broken", premium_allowed=False, fast_reaction=True)

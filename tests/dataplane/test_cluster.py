@@ -1,0 +1,137 @@
+"""Tests for region clusters and group-based probing distribution."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.cluster import RegionCluster
+from repro.dataplane.config import MonitoringConfig, ReactionConfig
+from repro.underlay.config import UnderlayConfig
+from repro.underlay.events import DegradationEvent
+from repro.underlay.linkstate import LinkType
+from repro.underlay.scenarios import inject_events, quiet_link
+from repro.underlay.topology import build_underlay
+
+I = LinkType.INTERNET
+P = LinkType.PREMIUM
+
+
+@pytest.fixture()
+def underlay(small_regions):
+    u = build_underlay(small_regions, UnderlayConfig(horizon_s=7200.0),
+                       seed=17)
+    for (a, b) in u.pairs:
+        for lt in (I, P):
+            quiet_link(u, a, b, lt)
+    return u
+
+
+@pytest.fixture()
+def cluster(underlay):
+    return RegionCluster("HGH", underlay, initial_gateways=4,
+                         monitoring=MonitoringConfig(representatives=2),
+                         reaction=ReactionConfig(trigger_bursts=2,
+                                                 recover_bursts=4),
+                         rng=np.random.default_rng(3))
+
+
+class TestFleet:
+    def test_initial_size(self, cluster):
+        assert cluster.size == 4
+
+    def test_scale_up_adds_gateways(self, cluster):
+        cluster.scale_to(6)
+        assert cluster.size == 6
+
+    def test_scale_down_removes_newest(self, cluster):
+        cluster.scale_to(2)
+        assert sorted(cluster.gateways) == [0, 1]
+
+    def test_cannot_scale_to_zero(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.scale_to(0)
+
+    def test_new_gateways_inherit_tables(self, cluster):
+        cluster.install({1: ("SIN", I)}, {1: ("SIN",)})
+        cluster.scale_to(6)
+        newest = cluster.gateways[max(cluster.gateways)]
+        assert newest.table.lookup(1) is not None
+
+    def test_representatives_are_stable_lowest_ids(self, cluster):
+        reps = cluster.representatives()
+        assert [g.gateway_id for g in reps] == [0, 1]
+        cluster.scale_to(8)
+        assert [g.gateway_id for g in cluster.representatives()] == [0, 1]
+
+    def test_needs_at_least_one_gateway(self, underlay):
+        with pytest.raises(ValueError):
+            RegionCluster("HGH", underlay, initial_gateways=0)
+
+
+class TestGroupProbing:
+    def test_probe_round_reports_all_links(self, cluster, underlay):
+        reports = cluster.probe_round(0.0)
+        assert len(reports) == (len(underlay.codes) - 1) * 2
+
+    def test_only_representatives_send_probes(self, cluster):
+        cluster.probe_round(0.0)
+        bytes_by_gateway = {gid: g.probe_bytes_sent
+                            for gid, g in cluster.gateways.items()}
+        assert bytes_by_gateway[0] > 0 and bytes_by_gateway[1] > 0
+        assert bytes_by_gateway[2] == 0 and bytes_by_gateway[3] == 0
+
+    def test_group_state_distributed_to_members(self, cluster):
+        cluster.probe_round(0.0)
+        member = cluster.gateways[3]
+        lat, loss = member.estimator("SIN", I).estimate()
+        assert lat > 0  # adopted state despite never probing
+
+    def test_degradation_verdict_distributed(self, cluster, underlay):
+        inject_events(underlay, "HGH", "SIN", I,
+                      [DegradationEvent(5.0, 60.0, 5000.0, 0.3)])
+        for k in range(12):
+            cluster.probe_round(9.0 + k * 0.4)
+        # Every gateway (including non-representatives) must now react.
+        for gateway in cluster.gateways.values():
+            assert gateway.link_degraded("SIN", I)
+
+    def test_reports_reflect_median_of_reps(self, cluster):
+        reports = {(r.dst, r.link_type): r for r in cluster.probe_round(0.0)}
+        report = reports[("SIN", I)]
+        reps = cluster.representatives()
+        lats = sorted(rep.estimator("SIN", I).estimate()[0] for rep in reps)
+        assert lats[0] <= report.latency_ms <= lats[-1]
+
+
+class TestForwarding:
+    def test_round_robin_across_gateways(self, cluster):
+        cluster.install({1: ("SIN", I)}, {})
+        decisions = [cluster.forward(1) for __ in range(8)]
+        assert all(d is not None and d.next_hop == "SIN" for d in decisions)
+
+    def test_unknown_stream(self, cluster):
+        assert cluster.forward(99) is None
+
+    def test_cluster_reaction_via_any_gateway(self, cluster, underlay):
+        cluster.install({1: ("SIN", I)}, {1: ("SIN",)})
+        inject_events(underlay, "HGH", "SIN", I,
+                      [DegradationEvent(5.0, 60.0, 5000.0, 0.3)])
+        for k in range(12):
+            cluster.probe_round(9.0 + k * 0.4)
+        for __ in range(cluster.size):
+            decision = cluster.forward(1)
+            assert decision.via_backup
+            assert decision.link_type is P
+
+
+class TestTelemetry:
+    def test_probe_bytes_counted(self, cluster):
+        cluster.probe_round(0.0)
+        assert cluster.probe_bytes() > 0
+
+    def test_detections_counted(self, cluster, underlay):
+        assert cluster.degradation_detections() == 0
+        inject_events(underlay, "HGH", "SIN", I,
+                      [DegradationEvent(5.0, 60.0, 5000.0, 0.3)])
+        for k in range(12):
+            cluster.probe_round(9.0 + k * 0.4)
+        assert cluster.degradation_detections() >= 1

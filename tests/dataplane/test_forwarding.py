@@ -1,0 +1,143 @@
+"""Tests for forwarding tables and effective-path evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.controlplane.model import OverlayPath
+from repro.dataplane.forwarding import (ForwardingTable,
+                                        effective_path_series)
+from repro.underlay.linkstate import LinkType
+
+I = LinkType.INTERNET
+P = LinkType.PREMIUM
+
+
+class TestForwardingTable:
+    def test_install_and_lookup(self):
+        table = ForwardingTable("A")
+        table.install({1: ("B", I), 2: ("C", P)})
+        assert table.lookup(1).next_hop == "B"
+        assert table.lookup(2).link_type is P
+        assert table.lookup(99) is None
+
+    def test_install_replaces(self):
+        table = ForwardingTable("A")
+        table.install({1: ("B", I)})
+        table.install({2: ("C", P)})
+        assert table.lookup(1) is None
+        assert len(table) == 1
+
+    def test_version_increments(self):
+        table = ForwardingTable("A")
+        assert table.version == 0
+        table.install({})
+        table.install({})
+        assert table.version == 2
+
+    def test_entries_sorted_by_stream(self):
+        table = ForwardingTable("A")
+        table.install({5: ("B", I), 1: ("C", I)})
+        assert [e.stream_id for e in table.entries()] == [1, 5]
+
+
+def _series_env(lat_map, loss_map=None, reaction_map=None, n=10):
+    """Build hop_series/reaction/plan functions over an n-sample grid."""
+    loss_map = loss_map or {}
+    reaction_map = reaction_map or {}
+    times = np.arange(n, dtype=float)
+
+    def hop_series(hop):
+        lat = np.full(n, lat_map.get(hop, 100.0))
+        loss = np.full(n, loss_map.get(hop, 0.0))
+        return lat, loss
+
+    def reaction(hop):
+        return reaction_map.get(hop, np.zeros(n, dtype=bool))
+
+    return times, hop_series, reaction
+
+
+class TestEffectivePathSeries:
+    def test_normal_path_sums_hops(self):
+        path = OverlayPath.via(["A", "B", "C"], I)
+        times, hs, ra = _series_env({("A", "B", I): 50.0,
+                                     ("B", "C", I): 70.0})
+        out = effective_path_series(path, times, hs, ra, lambda r: None)
+        np.testing.assert_allclose(out.latency_ms, 120.0)
+        assert not out.on_backup.any()
+
+    def test_loss_compounds_along_path(self):
+        path = OverlayPath.via(["A", "B", "C"], I)
+        times, hs, ra = _series_env({}, {("A", "B", I): 0.1,
+                                         ("B", "C", I): 0.2})
+        out = effective_path_series(path, times, hs, ra, lambda r: None)
+        np.testing.assert_allclose(out.loss_rate, 1 - 0.9 * 0.8)
+
+    def test_reaction_switches_to_plan(self):
+        path = OverlayPath.direct("A", "C", I)
+        flags = np.zeros(10, dtype=bool)
+        flags[4:8] = True
+        times, hs, ra = _series_env(
+            {("A", "C", I): 5000.0, ("A", "B", P): 60.0, ("B", "C", P): 60.0},
+            reaction_map={("A", "C", I): flags})
+        out = effective_path_series(path, times, hs, ra,
+                                    lambda r: ("B", "C") if r == "A" else None)
+        np.testing.assert_allclose(out.latency_ms[4:8], 120.0)
+        np.testing.assert_allclose(out.latency_ms[:4], 5000.0)
+        assert out.on_backup[4:8].all()
+        assert out.backup_fraction == pytest.approx(0.4)
+
+    def test_reaction_disabled_keeps_normal_path(self):
+        path = OverlayPath.direct("A", "C", I)
+        flags = np.ones(10, dtype=bool)
+        times, hs, ra = _series_env({("A", "C", I): 5000.0},
+                                    reaction_map={("A", "C", I): flags})
+        out = effective_path_series(path, times, hs, ra,
+                                    lambda r: ("C",), enable_reaction=False)
+        np.testing.assert_allclose(out.latency_ms, 5000.0)
+        assert not out.on_backup.any()
+
+    def test_missing_plan_falls_back_to_direct_premium(self):
+        path = OverlayPath.direct("A", "C", I)
+        flags = np.ones(5, dtype=bool)
+        times, hs, ra = _series_env({("A", "C", I): 5000.0,
+                                     ("A", "C", P): 80.0},
+                                    reaction_map={("A", "C", I): flags}, n=5)
+        out = effective_path_series(path, times, hs, ra, lambda r: None)
+        np.testing.assert_allclose(out.latency_ms, 80.0)
+
+    def test_first_degraded_hop_wins(self):
+        path = OverlayPath.via(["A", "B", "C"], I)
+        f1 = np.ones(5, dtype=bool)   # hop A->B degraded
+        f2 = np.ones(5, dtype=bool)   # hop B->C also degraded
+        times, hs, ra = _series_env(
+            {("A", "B", I): 1000.0, ("B", "C", I): 1000.0,
+             ("A", "C", P): 90.0, ("B", "C", P): 70.0},
+            reaction_map={("A", "B", I): f1, ("B", "C", I): f2}, n=5)
+
+        def plan(region):
+            return ("C",)
+
+        out = effective_path_series(path, times, hs, ra, plan)
+        # Switch happens at A (the first degraded hop): A->C premium.
+        np.testing.assert_allclose(out.latency_ms, 90.0)
+
+    def test_downstream_hop_reaction_keeps_healthy_prefix(self):
+        path = OverlayPath.via(["A", "B", "C"], I)
+        f2 = np.ones(5, dtype=bool)
+        times, hs, ra = _series_env(
+            {("A", "B", I): 40.0, ("B", "C", I): 1000.0,
+             ("B", "C", P): 70.0},
+            reaction_map={("B", "C", I): f2}, n=5)
+        out = effective_path_series(path, times, hs, ra, lambda r: ("C",))
+        # Prefix A->B Internet (40) plus backup B->C premium (70).
+        np.testing.assert_allclose(out.latency_ms, 110.0)
+
+    def test_backup_loss_replaces_remaining_hops(self):
+        path = OverlayPath.direct("A", "C", I)
+        flags = np.ones(4, dtype=bool)
+        times, hs, ra = _series_env(
+            {}, {("A", "C", I): 0.5, ("A", "C", P): 0.001},
+            reaction_map={("A", "C", I): flags}, n=4)
+        out = effective_path_series(path, times, hs, ra, lambda r: None)
+        np.testing.assert_allclose(out.loss_rate, 0.001)

@@ -1,0 +1,163 @@
+"""Tests for autoscaling policies and their evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.elastic.autoscaler import (FixedAllocation, OptimalAllocation,
+                                      ProactiveAutoscaler, ReactiveAutoscaler,
+                                      TrackingAutoscaler, evaluate_autoscaler)
+from repro.elastic.containers import ContainerPool
+
+
+def _daily_demand(days=3, slot_s=300.0, peak=5000.0):
+    """A smooth synthetic daily pattern with a repeating surge."""
+    t = np.arange(0, days * 86400.0, slot_s)
+    hours = (t / 3600.0) % 24.0
+    base = peak * (0.05 + 0.95 * np.exp(-0.5 * ((hours - 12.0) / 3.0) ** 2))
+    surge = np.where((hours >= 9.0) & (hours < 9.5), 2.0, 1.0)
+    return base * surge
+
+
+class TestReactiveAutoscaler:
+    def test_scales_up_on_high_utilisation(self):
+        scaler = ReactiveAutoscaler(1000.0, metric_delay_slots=0)
+        assert scaler.decide(0, 900.0) > 1
+
+    def test_holds_in_band(self):
+        scaler = ReactiveAutoscaler(1000.0, metric_delay_slots=0)
+        scaler.decide(0, 700.0)  # util 0.7: in band
+        assert scaler.decide(1, 700.0) == 1
+
+    def test_scales_down_on_low_utilisation(self):
+        scaler = ReactiveAutoscaler(1000.0, metric_delay_slots=0)
+        # Grow first.
+        for k in range(8):
+            scaler.decide(k, 10000.0)
+        grown = scaler.decide(8, 10000.0)
+        shrunk = scaler.decide(9, 100.0)
+        assert shrunk < grown
+
+    def test_never_below_one(self):
+        scaler = ReactiveAutoscaler(1000.0, metric_delay_slots=0)
+        for k in range(20):
+            target = scaler.decide(k, 0.0)
+        assert target == 1
+
+    def test_metric_delay_defers_reaction(self):
+        prompt = ReactiveAutoscaler(1000.0, metric_delay_slots=0)
+        delayed = ReactiveAutoscaler(1000.0, metric_delay_slots=1)
+        assert prompt.decide(0, 5000.0) > 1
+        assert delayed.decide(0, 5000.0) > 1 or True  # first slot has no
+        # history, so the delayed scaler acts on the same value; feed a
+        # step change and check the delayed one lags one slot.
+        p2 = ReactiveAutoscaler(1000.0, metric_delay_slots=1)
+        p2.decide(0, 100.0)
+        lagged = p2.decide(1, 9000.0)  # still sees the old 100
+        caught_up = p2.decide(2, 9000.0)
+        assert caught_up > lagged
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(1000.0, high_utilisation=0.4,
+                               low_utilisation=0.5)
+
+
+class TestTrackingAutoscaler:
+    def test_tracks_demand_with_headroom(self):
+        scaler = TrackingAutoscaler(1000.0, headroom=1.2)
+        assert scaler.decide(0, 2500.0) == 3
+
+    def test_minimum_one(self):
+        assert TrackingAutoscaler(1000.0).decide(0, 0.0) == 1
+
+
+class TestProactiveAutoscaler:
+    def test_falls_back_to_persistence_before_history(self):
+        scaler = ProactiveAutoscaler(1000.0, min_history=10_000)
+        target = scaler.decide(0, 2000.0)
+        assert target >= 2
+
+    def test_predicts_recurring_pattern(self):
+        demand = _daily_demand(days=4)
+        scaler = ProactiveAutoscaler(1000.0, min_history=144)
+        targets = [scaler.decide(k, float(d)) for k, d in enumerate(demand)]
+        # In the last simulated day the policy should anticipate the noon
+        # peak: target at 11:30 >= demand at 12:00 / capacity.
+        slots_per_day = int(86400 / 300)
+        k_1130 = 3 * slots_per_day + int(11.5 * 12)
+        noon_demand = demand[3 * slots_per_day + 12 * 12]
+        assert targets[k_1130] * 1000.0 >= noon_demand * 0.9
+
+
+class TestFixedAndOptimal:
+    def test_fixed_is_constant(self):
+        scaler = FixedAllocation(1000.0, previous_peak_mbps=5000.0)
+        assert scaler.decide(0, 1.0) == scaler.decide(99, 9999.0) == 5
+
+    def test_fixed_rejects_negative_peak(self):
+        with pytest.raises(ValueError):
+            FixedAllocation(1000.0, -1.0)
+
+    def test_optimal_looks_ahead(self):
+        scaler = OptimalAllocation(1000.0, [100.0, 5000.0, 100.0],
+                                   headroom=1.0)
+        assert scaler.decide(0, 100.0) == 5  # provisions for slot 1
+
+    def test_optimal_covers_current_slot_when_falling(self):
+        scaler = OptimalAllocation(1000.0, [100.0, 5000.0, 100.0, 100.0],
+                                   headroom=1.0)
+        # Deciding at slot 1 must not scale below slot 1's own demand.
+        assert scaler.decide(1, 5000.0) == 5
+
+
+class TestEvaluateAutoscaler:
+    def test_fixed_peak_provisioning_never_under_provisions(self, rng):
+        demand = _daily_demand()
+        pool = ContainerPool("X", rng, initial=10, max_containers=1000)
+        stats = evaluate_autoscaler(
+            FixedAllocation(1000.0, float(demand.max()), headroom=1.1),
+            demand, 1000.0, pool)
+        assert stats.under_provisioned_fraction == 0.0
+
+    def test_reactive_under_provisions_on_surges(self, rng):
+        demand = _daily_demand(peak=50000.0)
+        pool = ContainerPool("X", rng, initial=1, max_containers=10000)
+        stats = evaluate_autoscaler(ReactiveAutoscaler(1000.0), demand,
+                                    1000.0, pool)
+        assert stats.under_provisioned_fraction > 0.0
+
+    def test_proactive_beats_reactive(self):
+        demand = _daily_demand(days=6, peak=50000.0)
+        results = {}
+        for name, policy in (("reactive", ReactiveAutoscaler(1000.0)),
+                             ("proactive",
+                              ProactiveAutoscaler(1000.0, min_history=144))):
+            pool = ContainerPool("X", np.random.default_rng(1), initial=1,
+                                 max_containers=10000)
+            results[name] = evaluate_autoscaler(policy, demand, 1000.0, pool,
+                                                warmup_slots=576)
+        assert (results["proactive"].mean_error_rate
+                <= results["reactive"].mean_error_rate)
+
+    def test_stats_shapes_align(self, rng):
+        demand = _daily_demand(days=1)
+        pool = ContainerPool("X", rng, initial=1, max_containers=1000)
+        stats = evaluate_autoscaler(TrackingAutoscaler(1000.0), demand,
+                                    1000.0, pool)
+        n = len(demand) - 1
+        assert stats.error_rates.shape == (n,)
+        assert stats.containers.shape == (n,)
+        assert stats.demand_mbps.shape == (n,)
+
+    def test_warmup_trims_slots(self, rng):
+        demand = _daily_demand(days=1)
+        pool = ContainerPool("X", rng, initial=1, max_containers=1000)
+        stats = evaluate_autoscaler(TrackingAutoscaler(1000.0), demand,
+                                    1000.0, pool, warmup_slots=50)
+        assert stats.error_rates.shape == (len(demand) - 1 - 50,)
+
+    def test_rejects_short_series(self, rng):
+        pool = ContainerPool("X", rng, initial=1, max_containers=10)
+        with pytest.raises(ValueError):
+            evaluate_autoscaler(TrackingAutoscaler(1000.0), [1.0], 1000.0,
+                                pool)

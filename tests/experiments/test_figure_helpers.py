@@ -1,0 +1,101 @@
+"""Unit tests for figure-module helper logic on synthetic data."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig11_weekly import WeeklyDemandFigure
+from repro.experiments.fig12_prediction import PredictionFigure
+from repro.experiments.fig01_02_linkstates import LinkStateFigures
+from repro.experiments.fig03_badtime import BadTimeCdf
+from repro.experiments.fig07_similarity import SimilarityFigure
+from repro.experiments.fig08_asymmetry import AsymmetryFigure
+from repro.experiments.fig09_degradations import DegradationHistogram
+
+
+class TestWeeklyPeakDetection:
+    def _series(self, peak_hours, days=7, slot_s=600.0):
+        t = np.arange(0, days * 86400.0, slot_s)
+        h = (t / 3600.0) % 24.0
+        day = (t // 86400.0).astype(int) % 7
+        shape = sum(np.exp(-0.5 * ((h - p) / 1.0) ** 2) for p in peak_hours)
+        weekend = np.where(day >= 5, 0.2, 1.0)
+        return t, (shape + 0.01) * weekend
+
+    def test_finds_three_synthetic_peaks(self):
+        t, series = self._series([9.0, 14.0, 19.0])
+        fig = WeeklyDemandFigure(t, series, ("A", "B"), slot_s=600.0)
+        peaks = np.mean(np.array(fig.daily_peak_hours()), axis=0)
+        np.testing.assert_allclose(peaks, [9.0, 14.0, 19.0], atol=1.0)
+
+    def test_weekend_ratio(self):
+        t, series = self._series([12.0], days=14)
+        fig = WeeklyDemandFigure(t, series, ("A", "B"), slot_s=600.0)
+        assert fig.weekend_weekday_ratio == pytest.approx(0.2, abs=0.05)
+
+    def test_narrow_surge_does_not_mask_broad_peak(self):
+        t, series = self._series([9.0, 14.0, 19.0])
+        h = (t / 3600.0) % 24.0
+        series = series + np.where((h >= 11.0) & (h < 11.2), 5.0, 0.0)
+        fig = WeeklyDemandFigure(t, series, ("A", "B"), slot_s=600.0)
+        peaks = np.mean(np.array(fig.daily_peak_hours()), axis=0)
+        # The 12-minute spike must not displace the three broad peaks by
+        # much (smoothing handles it).
+        assert np.all(np.abs(peaks - [9.0, 14.0, 19.0]) < 2.5)
+
+
+class TestPredictionFigureHelpers:
+    def _fig(self, actual, predicted):
+        n = len(actual)
+        return PredictionFigure(np.arange(n, dtype=float),
+                                np.asarray(actual, dtype=float),
+                                np.asarray(predicted, dtype=float),
+                                ("A", "B"))
+
+    def test_perfect_prediction(self):
+        fig = self._fig([1.0, 2.0, 3.0, 4.0], [1.0, 2.0, 3.0, 4.0])
+        assert fig.mean_abs_error_of_peak == 0.0
+        assert fig.underprediction_fraction == 0.0
+        assert fig.correlation == pytest.approx(1.0)
+
+    def test_underprediction_fraction(self):
+        fig = self._fig([10.0, 10.0, 10.0, 10.0], [11.0, 9.0, 11.0, 9.0])
+        assert fig.underprediction_fraction == pytest.approx(0.5)
+
+
+class TestFigureStatHelpers:
+    def test_linkstate_maxima(self):
+        fig = LinkStateFigures(
+            times=np.arange(3), avg_latency_internet=np.array([1.0, 2, 3]),
+            avg_latency_premium=np.array([1.0, 1, 1]),
+            avg_loss_internet=np.array([0.01, 0.02, 0.033]),
+            avg_loss_premium=np.zeros(3), example_pair=("A", "B"),
+            example_latency_internet=np.array([100.0, 20000.0]),
+            example_loss_internet=np.array([0.01, 0.392]))
+        assert fig.max_example_latency_ms == 20000.0
+        assert fig.max_avg_loss_pct == pytest.approx(3.3)
+        assert fig.max_example_loss_pct == pytest.approx(39.2)
+
+    def test_badtime_fraction_over(self):
+        cdf = BadTimeCdf(np.array([0.05, 0.15, 0.25]),
+                         np.array([0.1, 0.3, 0.5]),
+                         np.zeros(3), np.zeros(3))
+        assert cdf.fraction_of_links_over(cdf.internet_high_latency,
+                                          0.10) == pytest.approx(2 / 3)
+
+    def test_similarity_figure_stats(self):
+        fig = SimilarityFigure(np.array([0.8, 0.92, 0.95]), 4, 2, 11)
+        assert fig.min_similarity == pytest.approx(0.8)
+        assert fig.fraction_over_90 == pytest.approx(2 / 3)
+        assert fig.probe_reduction_factor == pytest.approx(8.0)
+
+    def test_asymmetry_mean(self):
+        fig = AsymmetryFigure(np.array([0.5, 0.7]), ("A", "B"), 0.7)
+        assert fig.mean_fraction == pytest.approx(0.6)
+
+    def test_degradation_ratio(self):
+        hist = DegradationHistogram((90, 9, 1, 1), (1, 0, 0, 0), 1.0)
+        assert hist.internet_short_long_ratio == pytest.approx(100.0)
+
+    def test_degradation_ratio_no_long_events(self):
+        hist = DegradationHistogram((10, 0, 0, 0), (0, 0, 0, 0), 1.0)
+        assert hist.internet_short_long_ratio == 10.0

@@ -1,0 +1,55 @@
+"""Tests for aggregated QoE summaries."""
+
+import numpy as np
+import pytest
+
+from repro.qoe.metrics import summarize_qoe
+
+
+def test_healthy_summary():
+    lat = np.full(1000, 100.0)
+    loss = np.full(1000, 0.001)
+    s = summarize_qoe(lat, loss, step_s=1.0)
+    assert s.stall_ratio == 0.0
+    assert s.mean_fps == pytest.approx(25.0)
+    assert s.mean_fluency > 4.5
+    assert s.bad_audio_fraction == 0.0
+    assert s.stall_buckets == (0, 0, 0)
+    assert s.samples == 1000
+
+
+def test_degraded_summary():
+    lat = np.full(1000, 100.0)
+    lat[100:104] = 900.0  # one 4 s stall
+    loss = np.zeros(1000)
+    loss[500:512] = 0.2   # one 12 s stall
+    s = summarize_qoe(lat, loss, step_s=1.0)
+    assert s.stall_ratio == pytest.approx(16 / 1000)
+    assert s.stall_buckets == (1, 0, 1)
+
+
+def test_bad_audio_fraction_counts_score_one():
+    lat = np.full(100, 100.0)
+    loss = np.zeros(100)
+    loss[:10] = 0.6  # catastrophic loss -> fluency 1
+    s = summarize_qoe(lat, loss, step_s=1.0)
+    assert s.bad_audio_fraction == pytest.approx(0.1)
+    assert s.low_audio_fraction >= s.bad_audio_fraction
+
+
+def test_empty_series():
+    s = summarize_qoe(np.zeros(0), np.zeros(0), step_s=1.0)
+    assert s.samples == 0
+    assert s.stall_ratio == 0.0
+
+
+def test_ordering_between_networks():
+    """A strictly worse network never scores better."""
+    rng = np.random.default_rng(0)
+    lat = rng.uniform(50, 200, 500)
+    loss = rng.uniform(0, 0.02, 500)
+    good = summarize_qoe(lat, loss, step_s=1.0)
+    bad = summarize_qoe(lat * 4, loss * 10, step_s=1.0)
+    assert bad.stall_ratio >= good.stall_ratio
+    assert bad.mean_fps <= good.mean_fps
+    assert bad.mean_fluency <= good.mean_fluency

@@ -1,0 +1,104 @@
+"""Tests for the FEC + retransmission transport model."""
+
+import numpy as np
+import pytest
+
+from repro.qoe.transport import (TransportConfig, expected_frame_delay_ms,
+                                 frame_late_probability, residual_loss,
+                                 transport_stall_series)
+from repro.qoe.video import stall_series
+
+
+class TestConfig:
+    def test_recoverable_loss_from_overhead(self):
+        cfg = TransportConfig(fec_overhead=0.25, fec_efficiency=1.0)
+        assert cfg.recoverable_loss == pytest.approx(0.2)
+
+    def test_efficiency_derates(self):
+        full = TransportConfig(fec_efficiency=1.0).recoverable_loss
+        half = TransportConfig(fec_efficiency=0.5).recoverable_loss
+        assert half == pytest.approx(full / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransportConfig(fec_overhead=-0.1)
+        with pytest.raises(ValueError):
+            TransportConfig(fec_efficiency=0.0)
+        with pytest.raises(ValueError):
+            TransportConfig(packets_per_frame=0)
+
+
+class TestResidualLoss:
+    def test_small_loss_fully_repaired(self):
+        cfg = TransportConfig()
+        loss = np.array([0.0, cfg.recoverable_loss * 0.5])
+        np.testing.assert_allclose(residual_loss(loss, cfg), 0.0, atol=1e-9)
+
+    def test_heavy_loss_passes_through(self):
+        cfg = TransportConfig()
+        out = residual_loss(np.array([0.5]), cfg)
+        assert out[0] > 0.3
+
+    def test_monotone(self):
+        loss = np.linspace(0, 1, 50)
+        out = residual_loss(loss)
+        assert np.all(np.diff(out) >= -1e-9)
+
+    def test_bounded(self):
+        out = residual_loss(np.linspace(0, 1, 50))
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+
+class TestFrameDelay:
+    def test_late_probability_grows_with_packets_per_frame(self):
+        small = TransportConfig(packets_per_frame=1)
+        large = TransportConfig(packets_per_frame=10)
+        loss = np.array([0.2])
+        assert (frame_late_probability(loss, large)
+                > frame_late_probability(loss, small))
+
+    def test_clean_network_no_delay_penalty(self):
+        lat = np.array([100.0])
+        out = expected_frame_delay_ms(lat, np.array([0.0]))
+        assert out[0] == pytest.approx(100.0)
+
+    def test_lossy_network_pays_rtts(self):
+        cfg = TransportConfig(retransmit_rtts=1.5)
+        lat = np.array([100.0])
+        heavy = expected_frame_delay_ms(lat, np.array([0.9]), cfg)
+        # Nearly every frame retransmits: ~100 + 1.0 * 1.5 * 200 = 400.
+        assert heavy[0] > 350.0
+
+
+class TestTransportStalls:
+    def test_clean_network_never_stalls(self):
+        lat = np.full(100, 120.0)
+        assert not transport_stall_series(lat, np.zeros(100)).any()
+
+    def test_pure_latency_stall(self):
+        out = transport_stall_series(np.array([500.0]), np.array([0.0]))
+        assert out[0]
+
+    def test_loss_driven_stall(self):
+        out = transport_stall_series(np.array([150.0]), np.array([0.3]))
+        assert out[0]
+
+    def test_fec_absorbs_light_loss(self):
+        out = transport_stall_series(np.array([150.0]), np.array([0.02]))
+        assert not out[0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            transport_stall_series(np.zeros(2), np.zeros(3))
+
+    def test_agrees_with_threshold_model_on_ordering(self):
+        """Both stall models rank a bad network above a good one."""
+        rng = np.random.default_rng(3)
+        lat = rng.uniform(30, 250, 2000)
+        loss = rng.uniform(0, 0.04, 2000)
+        good_simple = stall_series(lat, loss).mean()
+        good_transport = transport_stall_series(lat, loss).mean()
+        bad_simple = stall_series(lat * 4, loss * 8).mean()
+        bad_transport = transport_stall_series(lat * 4, loss * 8).mean()
+        assert bad_simple >= good_simple
+        assert bad_transport >= good_transport

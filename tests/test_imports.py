@@ -1,0 +1,42 @@
+"""Every module in the package imports cleanly (no dead imports, no
+syntax drift) and the public packages re-export what they promise."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = sorted(
+    name for __, name, __ in pkgutil.walk_packages(
+        repro.__path__, prefix="repro.")
+    if not name.endswith("__main__"))
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+def test_package_has_expected_subpackages():
+    names = set(ALL_MODULES)
+    for sub in ("repro.sim", "repro.underlay", "repro.traffic",
+                "repro.elastic", "repro.dataplane", "repro.controlplane",
+                "repro.qoe", "repro.cost", "repro.core", "repro.analysis",
+                "repro.experiments", "repro.cli"):
+        assert sub in names
+
+
+@pytest.mark.parametrize("package_name", [
+    "repro.sim", "repro.underlay", "repro.traffic", "repro.elastic",
+    "repro.dataplane", "repro.controlplane", "repro.qoe", "repro.cost",
+    "repro.core", "repro.analysis"])
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    for name in getattr(package, "__all__", []):
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_version():
+    assert repro.__version__

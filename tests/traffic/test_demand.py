@@ -1,0 +1,131 @@
+"""Tests for the three-peak demand model."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.config import TrafficConfig
+from repro.traffic.demand import DemandModel, three_peak_shape
+from repro.underlay.regions import default_regions
+
+
+class TestThreePeakShape:
+    def test_peaks_at_configured_hours(self):
+        cfg = TrafficConfig()
+        h = np.linspace(0, 24, 2401)
+        shape = three_peak_shape(h, cfg.peak_hours, cfg.peak_amps,
+                                 cfg.peak_width_h)
+        # Local maxima should be near 10, 16, 20.
+        for peak in cfg.peak_hours:
+            window = (h > peak - 0.5) & (h < peak + 0.5)
+            assert shape[window].max() > 0.7 * max(cfg.peak_amps)
+
+    def test_overnight_is_low(self):
+        cfg = TrafficConfig()
+        shape = three_peak_shape(np.array([3.0]), cfg.peak_hours,
+                                 cfg.peak_amps, cfg.peak_width_h)
+        assert shape[0] < 0.01
+
+    def test_wraps_around_midnight(self):
+        shape_a = three_peak_shape(np.array([23.9]), (0.1,), (1.0,), 1.0)
+        shape_b = three_peak_shape(np.array([0.3]), (0.1,), (1.0,), 1.0)
+        assert shape_a[0] > 0.9 and shape_b[0] > 0.9
+
+
+class TestDemandModel:
+    def test_rejects_single_region(self):
+        with pytest.raises(ValueError):
+            DemandModel(default_regions()[:1])
+
+    def test_rates_positive(self, small_demand):
+        t = np.arange(0, 86400, 300.0)
+        for (a, b) in small_demand.pairs:
+            assert np.all(small_demand.rate_mbps(a, b, t) > 0)
+
+    def test_deterministic(self, small_regions):
+        t = np.arange(0, 86400, 600.0)
+        a = DemandModel(small_regions, seed=7)
+        b = DemandModel(small_regions, seed=7)
+        pair = a.pairs[0]
+        np.testing.assert_array_equal(a.rate_mbps(*pair, t),
+                                      b.rate_mbps(*pair, t))
+
+    def test_seed_changes_rates(self, small_regions):
+        t = np.arange(0, 86400, 600.0)
+        a = DemandModel(small_regions, seed=7)
+        b = DemandModel(small_regions, seed=8)
+        pair = a.pairs[0]
+        assert not np.allclose(a.rate_mbps(*pair, t), b.rate_mbps(*pair, t))
+
+    def test_total_is_sum_of_pairs(self, small_demand):
+        t = np.array([36000.0])
+        total = small_demand.total_mbps(t)
+        manual = sum(small_demand.rate_mbps(a, b, t)
+                     for (a, b) in small_demand.pairs)
+        np.testing.assert_allclose(total, manual)
+
+    def test_pair_count(self, small_demand):
+        n = len(small_demand.regions)
+        assert len(small_demand.pairs) == n * (n - 1)
+
+    def test_weekend_damped(self, small_demand):
+        pair = small_demand.pairs[0]
+        # Same time of day, weekday (day 2) vs weekend (day 5).
+        weekday = float(small_demand.rate_mbps(*pair,
+                                               2 * 86400.0 + 36000.0))
+        weekend = float(small_demand.rate_mbps(*pair,
+                                               5 * 86400.0 + 36000.0))
+        assert weekend < weekday * 0.6
+
+    def test_peak_trough_ratio_large(self):
+        model = DemandModel(default_regions(), seed=3)
+        t = np.arange(0, 86400, 60.0)
+        total = model.total_mbps(t)
+        assert total.max() / total.min() > 40  # paper: 145x
+
+    def test_pair_peak_trough_ratio_larger(self):
+        model = DemandModel(default_regions(), seed=3)
+        t = np.arange(0, 86400, 60.0)
+        pair = max(model.pairs, key=lambda p: model.pair_scale(*p))
+        series = model.rate_mbps(*pair, t)
+        assert series.max() / series.min() > 100  # paper: 247x
+
+    def test_surges_jump_within_five_minutes(self):
+        model = DemandModel(default_regions(), seed=3)
+        t = np.arange(0, 86400, 300.0)
+        jumps = []
+        for (a, b) in model.pairs[:20]:
+            series = model.rate_mbps(a, b, t)
+            jumps.append(float(np.max(series[1:] / series[:-1])))
+        assert max(jumps) > 2.0  # paper: 3.4x for the example pair
+
+    def test_surges_recur_daily(self, small_demand):
+        """The same weekday shows the surge at roughly the same time."""
+        pair = small_demand.pairs[0]
+        t_day1 = np.arange(0, 86400, 300.0)
+        t_day2 = t_day1 + 86400.0
+        d1 = small_demand.rate_mbps(*pair, t_day1)
+        d2 = small_demand.rate_mbps(*pair, t_day2)
+        # Correlated daily patterns (three peaks + recurring surges).
+        corr = np.corrcoef(d1, d2)[0, 1]
+        assert corr > 0.9
+
+    def test_china_pairs_dominate(self):
+        model = DemandModel(default_regions(), seed=3)
+        heaviest = max(model.pairs, key=lambda p: model.pair_scale(*p))
+        by_code = {r.code: r for r in model.regions}
+        assert by_code[heaviest[0]].utc_offset == 8.0
+        assert by_code[heaviest[1]].utc_offset == 8.0
+
+    def test_noise_is_smooth_between_slots(self, small_demand):
+        """Adjacent 5-minute slots do not jump tens of percent from noise."""
+        pair = small_demand.pairs[0]
+        # HGH/SIN overnight (UTC 17:00-21:00 is 01:00-05:00 local): the
+        # diurnal shape is flat there, so noise dominates the series.
+        t = np.arange(17 * 3600.0, 21 * 3600.0, 300.0)
+        series = small_demand.rate_mbps(*pair, t)
+        ratios = series[1:] / series[:-1]
+        assert np.max(np.abs(np.log(ratios))) < 0.25
+
+    def test_scale_lookup(self, small_demand):
+        pair = small_demand.pairs[0]
+        assert small_demand.pair_scale(*pair) > 0

@@ -1,0 +1,79 @@
+"""Tests for traffic matrices."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.matrix import TrafficMatrix
+
+
+@pytest.fixture()
+def matrix():
+    return TrafficMatrix(["A", "B", "C"],
+                         {("A", "B"): 10.0, ("B", "A"): 5.0,
+                          ("A", "C"): 2.0, ("C", "B"): 1.0})
+
+
+def test_get_existing_and_missing(matrix):
+    assert matrix.get("A", "B") == 10.0
+    assert matrix.get("B", "C") == 0.0
+
+
+def test_total(matrix):
+    assert matrix.total() == pytest.approx(18.0)
+
+
+def test_egress_ingress(matrix):
+    assert matrix.egress("A") == pytest.approx(12.0)
+    assert matrix.ingress("B") == pytest.approx(11.0)
+
+
+def test_len_counts_entries(matrix):
+    assert len(matrix) == 4
+
+
+def test_items_sorted(matrix):
+    keys = [k for k, __ in matrix.items()]
+    assert keys == sorted(keys)
+
+
+def test_as_array_layout(matrix):
+    arr = matrix.as_array()
+    assert arr.shape == (3, 3)
+    assert arr[0, 1] == 10.0  # A -> B
+    assert arr[1, 0] == 5.0
+    assert np.all(np.diag(arr) == 0.0)
+
+
+def test_scaled(matrix):
+    doubled = matrix.scaled(2.0)
+    assert doubled.get("A", "B") == 20.0
+    assert matrix.get("A", "B") == 10.0  # original untouched
+
+
+def test_scaled_rejects_negative(matrix):
+    with pytest.raises(ValueError):
+        matrix.scaled(-1.0)
+
+
+def test_rejects_self_pair():
+    with pytest.raises(ValueError):
+        TrafficMatrix(["A"], {("A", "A"): 1.0})
+
+
+def test_rejects_negative_demand():
+    with pytest.raises(ValueError):
+        TrafficMatrix(["A", "B"], {("A", "B"): -1.0})
+
+
+def test_from_model_matches_rates(small_demand):
+    t = 36000.0
+    m = TrafficMatrix.from_model(small_demand, t)
+    pair = small_demand.pairs[0]
+    assert m.get(*pair) == pytest.approx(
+        float(small_demand.rate_mbps(*pair, t)))
+
+
+def test_from_model_scale(small_demand):
+    m1 = TrafficMatrix.from_model(small_demand, 36000.0)
+    m2 = TrafficMatrix.from_model(small_demand, 36000.0, scale=0.1)
+    assert m2.total() == pytest.approx(m1.total() * 0.1)

@@ -1,0 +1,99 @@
+"""Tests for the stream workload decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.streams import (Stream, StreamWorkload, VIDEO_PROFILES,
+                                   VideoProfile)
+
+
+@pytest.fixture()
+def matrix():
+    return TrafficMatrix(["A", "B", "C"],
+                         {("A", "B"): 120.0, ("B", "A"): 30.0,
+                          ("A", "C"): 0.0})
+
+
+def test_stream_validation_self_pair():
+    with pytest.raises(ValueError):
+        Stream(1, "A", "A", 1.0, VIDEO_PROFILES[0])
+
+
+def test_stream_validation_negative_demand():
+    with pytest.raises(ValueError):
+        Stream(1, "A", "B", -1.0, VIDEO_PROFILES[0])
+
+
+def test_decompose_preserves_total_demand(matrix):
+    workload = StreamWorkload(np.random.default_rng(1))
+    streams = workload.decompose(matrix)
+    assert sum(s.demand_mbps for s in streams) == pytest.approx(
+        matrix.total())
+
+
+def test_decompose_skips_zero_pairs(matrix):
+    workload = StreamWorkload(np.random.default_rng(1))
+    streams = workload.decompose(matrix)
+    assert not any(s.src == "A" and s.dst == "C" for s in streams)
+
+
+def test_decompose_respects_max_streams_per_pair(matrix):
+    workload = StreamWorkload(np.random.default_rng(1),
+                              max_streams_per_pair=2)
+    streams = workload.decompose(matrix)
+    per_pair = {}
+    for s in streams:
+        per_pair[(s.src, s.dst)] = per_pair.get((s.src, s.dst), 0) + 1
+    assert max(per_pair.values()) <= 2
+
+
+def test_decompose_ids_unique(matrix):
+    workload = StreamWorkload(np.random.default_rng(1))
+    streams = workload.decompose(matrix)
+    ids = [s.stream_id for s in streams]
+    assert len(set(ids)) == len(ids)
+
+
+def test_ids_unique_across_epochs(matrix):
+    workload = StreamWorkload(np.random.default_rng(1))
+    first = workload.decompose(matrix)
+    second = workload.decompose(matrix)
+    ids = [s.stream_id for s in first + second]
+    assert len(set(ids)) == len(ids)
+
+
+def test_session_counts_positive(matrix):
+    workload = StreamWorkload(np.random.default_rng(1))
+    for s in workload.decompose(matrix):
+        assert s.session_count >= 1
+
+
+def test_profiles_drawn_from_catalogue(matrix):
+    workload = StreamWorkload(np.random.default_rng(1))
+    for s in workload.decompose(matrix):
+        assert s.profile in VIDEO_PROFILES
+
+
+def test_rejects_zero_max_streams():
+    with pytest.raises(ValueError):
+        StreamWorkload(max_streams_per_pair=0)
+
+
+def test_session_statistics(matrix):
+    workload = StreamWorkload(np.random.default_rng(1))
+    streams = workload.decompose(matrix)
+    stats = workload.session_statistics(streams)
+    assert stats["streams"] == len(streams)
+    assert stats["demand_mbps"] == pytest.approx(matrix.total())
+
+
+def test_session_statistics_empty():
+    workload = StreamWorkload()
+    assert workload.session_statistics([])["streams"] == 0
+
+
+def test_profile_catalogue_sane():
+    assert all(isinstance(p, VideoProfile) for p in VIDEO_PROFILES)
+    assert all(p.bitrate_mbps > 0 for p in VIDEO_PROFILES)
+    assert abs(sum(p.weight for p in VIDEO_PROFILES) - 1.0) < 0.01

@@ -1,0 +1,165 @@
+"""Tests for degradation-event timelines."""
+
+import numpy as np
+import pytest
+
+from repro.underlay.events import (DegradationEvent, EventTimeline,
+                                   MAX_EVENT_LATENCY_MS, generate_timeline)
+
+
+def _timeline(events, horizon=1000.0):
+    return EventTimeline.from_events(events, horizon)
+
+
+class TestDegradationEvent:
+    def test_end(self):
+        e = DegradationEvent(10.0, 5.0, 100.0, 0.01)
+        assert e.end == 15.0
+
+    def test_is_short_boundary(self):
+        assert DegradationEvent(0, 29.9, 1, 0).is_short
+        assert not DegradationEvent(0, 30.0, 1, 0).is_short
+
+    def test_ramp_capped(self):
+        long_event = DegradationEvent(0, 100.0, 1, 0)
+        assert long_event.ramp_s == 3.0
+        short_event = DegradationEvent(0, 4.0, 1, 0)
+        assert short_event.ramp_s == pytest.approx(1.4)
+
+
+class TestEventTimeline:
+    def test_empty_timeline_is_zero(self):
+        tl = _timeline([])
+        assert tl.latency_add(5.0) == 0.0
+        assert tl.loss_add(np.array([1.0, 2.0])).tolist() == [0.0, 0.0]
+        assert len(tl) == 0
+
+    def test_zero_before_first_event(self):
+        tl = _timeline([DegradationEvent(100.0, 10.0, 500.0, 0.1)])
+        assert tl.latency_add(50.0) == 0.0
+
+    def test_peak_severity_mid_event(self):
+        tl = _timeline([DegradationEvent(100.0, 20.0, 500.0, 0.1)])
+        assert tl.latency_add(110.0) == pytest.approx(500.0, rel=1e-6)
+        assert tl.loss_add(110.0) == pytest.approx(0.1, rel=1e-6)
+
+    def test_zero_after_event(self):
+        tl = _timeline([DegradationEvent(100.0, 20.0, 500.0, 0.1)])
+        assert tl.latency_add(121.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ramp_up_is_partial(self):
+        # Event from t=100, duration 20 -> ramp = 3 s.
+        tl = _timeline([DegradationEvent(100.0, 20.0, 600.0, 0.3)])
+        half_ramp = tl.latency_add(101.5)
+        assert 0.0 < half_ramp < 600.0
+        assert half_ramp == pytest.approx(300.0, rel=1e-6)
+
+    def test_ramp_down_mirrors_up(self):
+        tl = _timeline([DegradationEvent(100.0, 20.0, 600.0, 0.3)])
+        assert tl.latency_add(118.5) == pytest.approx(
+            tl.latency_add(101.5), rel=1e-9)
+
+    def test_overlapping_events_sum(self):
+        tl = _timeline([DegradationEvent(100.0, 30.0, 400.0, 0.05),
+                        DegradationEvent(110.0, 30.0, 300.0, 0.05)])
+        mid = tl.latency_add(118.0)  # both at full severity
+        assert mid == pytest.approx(700.0, rel=1e-6)
+
+    def test_severity_never_negative(self):
+        tl = _timeline([DegradationEvent(10.0 * i, 5.0, 100.0, 0.01)
+                        for i in range(50)])
+        t = np.linspace(0, 600, 4001)
+        assert np.all(tl.latency_add(t) >= 0)
+        assert np.all(tl.loss_add(t) >= 0)
+
+    def test_vectorised_matches_scalar(self):
+        tl = _timeline([DegradationEvent(5.0, 12.0, 250.0, 0.2),
+                        DegradationEvent(30.0, 40.0, 100.0, 0.01)])
+        times = np.linspace(0, 100, 101)
+        vec = tl.latency_add(times)
+        scal = np.array([float(tl.latency_add(t)) for t in times])
+        np.testing.assert_allclose(vec, scal)
+
+    def test_events_property_round_trips(self):
+        events = [DegradationEvent(5.0, 12.0, 250.0, 0.2),
+                  DegradationEvent(1.0, 4.0, 100.0, 0.01)]
+        tl = _timeline(events)
+        out = tl.events
+        assert len(out) == 2
+        # Sorted by start time.
+        assert out[0].start == 1.0 and out[1].start == 5.0
+
+    def test_active_events(self):
+        tl = _timeline([DegradationEvent(10.0, 10.0, 1.0, 0.0),
+                        DegradationEvent(15.0, 10.0, 2.0, 0.0)])
+        active = tl.active_events(16.0)
+        assert len(active) == 2
+        assert len(tl.active_events(5.0)) == 0
+        assert len(tl.active_events(21.0)) == 1
+
+    def test_duration_histogram_buckets(self):
+        tl = _timeline([DegradationEvent(0, 5.0, 1, 0),
+                        DegradationEvent(10, 15.0, 1, 0),
+                        DegradationEvent(30, 25.0, 1, 0),
+                        DegradationEvent(60, 100.0, 1, 0),
+                        DegradationEvent(200, 9.0, 1, 0)])
+        assert tl.duration_histogram() == (2, 1, 1, 1)
+
+    def test_duration_histogram_empty(self):
+        assert _timeline([]).duration_histogram() == (0, 0, 0, 0)
+
+
+class TestGenerateTimeline:
+    def _gen(self, rng, horizon=10 * 86400.0, **overrides):
+        kwargs = dict(short_events_per_day=100.0, long_events_per_day=1.0,
+                      short_duration_mean_s=8.0, long_duration_mu=4.5,
+                      long_duration_sigma=1.0, event_latency_mu=5.5,
+                      event_latency_sigma=1.2, event_loss_mu=-3.5,
+                      event_loss_sigma=1.0)
+        kwargs.update(overrides)
+        return generate_timeline(rng, horizon, **kwargs)
+
+    def test_counts_scale_with_rate(self, rng):
+        tl = self._gen(rng)
+        hist = tl.duration_histogram()
+        short = sum(hist[:3])
+        # ~1000 short events expected over 10 days.
+        assert 800 < short < 1200
+        assert 3 < hist[3] < 30
+
+    def test_rate_scale_multiplies_counts(self, rng):
+        base = len(self._gen(np.random.default_rng(1)))
+        scaled = len(self._gen(np.random.default_rng(1), rate_scale=3.0))
+        assert scaled > 2.0 * base
+
+    def test_short_events_stay_short(self, rng):
+        tl = self._gen(rng, long_events_per_day=0.0)
+        assert tl.duration_histogram()[3] == 0
+
+    def test_long_events_exceed_30s(self, rng):
+        tl = self._gen(rng, short_events_per_day=0.0,
+                       long_events_per_day=10.0)
+        assert np.all(tl.durations >= 30.0)
+
+    def test_latency_capped(self, rng):
+        tl = self._gen(rng, event_latency_mu=12.0, severity_scale=5.0)
+        assert np.all(tl.latency_adds <= MAX_EVENT_LATENCY_MS)
+
+    def test_loss_capped(self, rng):
+        tl = self._gen(rng, event_loss_mu=3.0, severity_scale=10.0)
+        assert np.all(tl.loss_adds <= 0.95)
+
+    def test_events_within_offset_window(self, rng):
+        tl = self._gen(rng, horizon=86400.0, start_offset=1000.0)
+        assert np.all(tl.starts >= 1000.0)
+        assert tl.horizon_s == pytest.approx(86400.0 + 1000.0)
+
+    def test_rejects_non_positive_horizon(self, rng):
+        with pytest.raises(ValueError):
+            self._gen(rng, horizon=0.0)
+
+    def test_deterministic_for_same_generator_state(self):
+        a = self._gen(np.random.default_rng(42))
+        b = self._gen(np.random.default_rng(42))
+        np.testing.assert_array_equal(a.starts, b.starts)
+        np.testing.assert_array_equal(a.latency_adds, b.latency_adds)

@@ -1,0 +1,105 @@
+"""Tests for region-scale failure scenarios and overlay resilience."""
+
+import numpy as np
+import pytest
+
+from repro.underlay.config import UnderlayConfig
+from repro.underlay.linkstate import LinkType
+from repro.underlay.outage import region_outage, transit_flap
+from repro.underlay.topology import build_underlay
+
+I = LinkType.INTERNET
+P = LinkType.PREMIUM
+
+
+@pytest.fixture()
+def underlay(small_regions):
+    return build_underlay(small_regions, UnderlayConfig(horizon_s=7200.0),
+                          seed=8)
+
+
+class TestRegionOutage:
+    def test_affects_all_outgoing_links(self, underlay):
+        n = region_outage(underlay, "HGH", 1000.0, 2000.0,
+                          directions="out")
+        assert n == len(underlay.codes) - 1
+        for other in underlay.codes:
+            if other == "HGH":
+                continue
+            lat = float(underlay.link("HGH", other, I).latency_ms(1500.0))
+            assert lat > 2000.0
+
+    def test_both_directions(self, underlay):
+        region_outage(underlay, "HGH", 1000.0, 2000.0, directions="both")
+        assert float(underlay.link("SIN", "HGH", I).latency_ms(1500.0)) > 2000
+        assert float(underlay.link("HGH", "SIN", I).latency_ms(1500.0)) > 2000
+
+    def test_in_only_spares_outgoing(self, underlay):
+        region_outage(underlay, "HGH", 1000.0, 2000.0, directions="in",
+                      keep_existing=False)
+        assert float(underlay.link("SIN", "HGH", I).latency_ms(1500.0)) > 2000
+        assert float(underlay.link("HGH", "SIN", I).latency_ms(1500.0)) < 2000
+
+    def test_premium_spared_by_default(self, underlay):
+        region_outage(underlay, "HGH", 1000.0, 2000.0)
+        assert float(underlay.link("HGH", "SIN", P).latency_ms(1500.0)) < 500
+
+    def test_both_tiers_when_requested(self, underlay):
+        region_outage(underlay, "HGH", 1000.0, 2000.0, tiers=(I, P))
+        assert float(underlay.link("HGH", "SIN", P).latency_ms(1500.0)) > 2000
+
+    def test_other_regions_links_untouched(self, underlay):
+        region_outage(underlay, "HGH", 1000.0, 2000.0, keep_existing=False)
+        lat = float(underlay.link("SIN", "FRA", I).latency_ms(1500.0))
+        assert lat < 2000.0
+
+    def test_validation(self, underlay):
+        with pytest.raises(ValueError):
+            region_outage(underlay, "HGH", 10.0, 10.0)
+        with pytest.raises(ValueError):
+            region_outage(underlay, "HGH", 0.0, 1.0, directions="sideways")
+        with pytest.raises(KeyError):
+            region_outage(underlay, "XXX", 0.0, 1.0)
+
+
+class TestTransitFlap:
+    def test_periodic_episodes(self, underlay):
+        transit_flap(underlay, "HGH", 1000.0, 2000.0, period_s=200.0,
+                     flap_duration_s=20.0)
+        link = underlay.link("HGH", "SIN", I)
+        # During a flap window the latency is elevated; between flaps not.
+        assert float(link.latency_ms(1010.0)) > 800.0
+        assert float(link.latency_ms(1150.0)) < 800.0
+        assert float(link.latency_ms(1210.0)) > 800.0
+
+    def test_validation(self, underlay):
+        with pytest.raises(ValueError):
+            transit_flap(underlay, "HGH", 5.0, 5.0)
+
+
+class TestOverlayResilience:
+    def test_xron_rides_out_transit_outage(self, small_regions):
+        """During an Internet-tier outage at the source region, XRON's
+        premium backups keep the pair usable while Internet-only dies."""
+        from repro.core.config import SimulationConfig
+        from repro.core.system import XRONSystem
+        from repro.core.variants import internet_only, xron
+
+        results = {}
+        for make in (xron, internet_only):
+            system = XRONSystem(
+                regions=list(small_regions), seed=9,
+                underlay_config=UnderlayConfig(horizon_s=7200.0),
+                sim_config=SimulationConfig(epoch_s=300.0, eval_step_s=10.0,
+                                            seed=9))
+            region_outage(system.underlay, "HGH", 1800.0, 3000.0,
+                          latency_add_ms=6000.0, loss_add=0.4)
+            results[make().name] = system.run(variant=make(),
+                                              start_hour=0.0, hours=1.0)
+        idx = results["XRON"].pair_index("HGH", "SIN")
+        window = (results["XRON"].times >= 1800.0) & \
+                 (results["XRON"].times < 3000.0)
+        xron_lat = results["XRON"].latency_ms[idx][window]
+        legacy_lat = results["Internet only"].latency_ms[idx][window]
+        assert legacy_lat.max() > 5000.0
+        assert np.median(xron_lat) < 1000.0

@@ -1,0 +1,83 @@
+"""Tests for regions and geography."""
+
+import math
+
+import pytest
+
+from repro.underlay.regions import (Region, all_ordered_pairs,
+                                    default_regions, great_circle_km,
+                                    propagation_delay_ms)
+
+
+def test_default_deployment_has_eleven_regions():
+    assert len(default_regions()) == 11
+
+
+def test_default_regions_span_four_continents():
+    continents = {r.continent for r in default_regions()}
+    assert len(continents) == 4
+
+
+def test_region_codes_are_unique():
+    codes = [r.code for r in default_regions()]
+    assert len(set(codes)) == len(codes)
+
+
+def test_great_circle_is_symmetric():
+    a, b = default_regions()[:2]
+    assert great_circle_km(a, b) == pytest.approx(great_circle_km(b, a))
+
+
+def test_great_circle_zero_for_same_point():
+    a = default_regions()[0]
+    assert great_circle_km(a, a) == pytest.approx(0.0)
+
+
+def test_great_circle_known_distance():
+    by_code = {r.code: r for r in default_regions()}
+    # Hangzhou <-> Singapore is roughly 3,400 km.
+    d = great_circle_km(by_code["HGH"], by_code["SIN"])
+    assert 3000 < d < 4000
+
+
+def test_great_circle_antipodal_bounded():
+    a = Region("x", "X", 0.0, 0.0, 0.0, "T")
+    b = Region("y", "Y", 0.0, 180.0, 0.0, "T")
+    assert great_circle_km(a, b) == pytest.approx(math.pi * 6371.0, rel=1e-6)
+
+
+def test_propagation_delay_scales_with_stretch():
+    a, b = default_regions()[0], default_regions()[4]
+    d1 = propagation_delay_ms(a, b, 1.0)
+    d2 = propagation_delay_ms(a, b, 2.0)
+    assert d2 == pytest.approx(2 * d1)
+
+
+def test_propagation_delay_rejects_stretch_below_one():
+    a, b = default_regions()[:2]
+    with pytest.raises(ValueError):
+        propagation_delay_ms(a, b, 0.9)
+
+
+def test_propagation_delay_plausible_for_transpacific():
+    by_code = {r.code: r for r in default_regions()}
+    # Tokyo -> Virginia one-way fibre delay should be tens of ms.
+    d = propagation_delay_ms(by_code["TYO"], by_code["IAD"], 1.0)
+    assert 40 < d < 80
+
+
+def test_all_ordered_pairs_count():
+    regions = default_regions()[:4]
+    pairs = all_ordered_pairs(regions)
+    assert len(pairs) == 4 * 3
+    assert ("HGH", "HGH") not in pairs
+
+
+def test_all_ordered_pairs_directional():
+    pairs = all_ordered_pairs(default_regions()[:3])
+    assert ("HGH", "BJS") in pairs and ("BJS", "HGH") in pairs
+
+
+def test_utc_offsets_cover_day():
+    offsets = {r.utc_offset for r in default_regions()}
+    assert max(offsets) - min(offsets) >= 12
