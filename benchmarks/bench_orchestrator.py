@@ -1,0 +1,38 @@
+"""Benchmarks for the experiment orchestrator itself.
+
+Measures the orchestration substrate, not the experiments: process-pool
+fan-out of a fixed four-experiment micro-suite versus running the same
+suite sequentially in-process, plus manifest serialisation.  The
+parallel/sequential ratio is the number every future perf PR moves.
+"""
+
+from repro.experiments import orchestrator
+from repro.experiments.export import write_manifest
+
+#: Sub-second experiments only: the benchmark times orchestration
+#: overhead and speedup, so the payload must stay small.
+MICRO_SUITE = ["fig03", "fig04", "fig09", "fig11"]
+
+
+def test_sequential_micro_suite(run_once, emit):
+    records = run_once(lambda: orchestrator.run_sequential(MICRO_SUITE))
+    emit("orchestrator_sequential",
+         [f"{r.name}: {r.status} in {r.wall_s:.2f}s" for r in records])
+    assert all(r.ok for r in records)
+
+
+def test_parallel_micro_suite(run_once, emit):
+    records = run_once(
+        lambda: orchestrator.run_parallel(MICRO_SUITE, workers=4))
+    emit("orchestrator_parallel",
+         [f"{r.name}: {r.status} in {r.wall_s:.2f}s" for r in records])
+    assert all(r.ok for r in records)
+    assert [r.name for r in records] == MICRO_SUITE
+
+
+def test_manifest_write(run_once, tmp_path):
+    records = orchestrator.run_sequential(["fig04"])
+    path = run_once(lambda: write_manifest(
+        records, tmp_path / "manifest.json", suite="bench",
+        mode="sequential", workers=1, total_wall_s=records[0].wall_s))
+    assert path.exists()

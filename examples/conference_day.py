@@ -35,7 +35,7 @@ def main() -> None:
     # 01:00 UTC = 09:00 in the China regions: the first daily peak ramps.
     start_hour = 1.0
     print(f"simulating {args.hours:g} h of the China morning peak for "
-          f"three service versions ...\n")
+          "three service versions ...\n")
 
     rows = []
     for variant in standard_variants():
@@ -59,11 +59,11 @@ def main() -> None:
     xron_row = rows[0]
     premium = rows[2]
     print()
-    print(f"XRON vs Internet-only: stall ratio "
+    print("XRON vs Internet-only: stall ratio "
           f"{(xron_row[1] / internet[1] - 1) * 100:+.0f}%, "
           f"p99.9 latency {internet[4] / xron_row[4]:.1f}x better")
     print(f"XRON vs Premium-only:  cost {premium[5] / xron_row[5]:.1f}x "
-          f"cheaper at comparable quality")
+          "cheaper at comparable quality")
 
 
 if __name__ == "__main__":

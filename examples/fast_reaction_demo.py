@@ -75,7 +75,7 @@ def main() -> None:
 
     est = gateway.estimator("SIN", LinkType.INTERNET)
     print(f"\ndetections on HGH->SIN Internet: {est.degradation_count}")
-    print(f"probe overhead this minute: "
+    print("probe overhead this minute: "
           f"{gateway.probe_bytes_sent / 1e6:.1f} MB across "
           f"{len(underlay.codes) - 1} neighbours x 2 tiers")
 

@@ -41,15 +41,15 @@ def main() -> None:
     start = 2.0 * 3600.0  # 10:00 in the China regions: first daily peak
     print(f"running {args.minutes:g} simulated minutes across "
           f"{len(regions)} regions (~{len(regions) * 2} gateways to start)"
-          f" ...\n")
+          " ...\n")
     result = system.run(start, args.minutes * 60.0)
 
     print(f"events processed      : {result.events_processed:,}")
     print(f"control epochs        : {len(result.control_outputs)}")
     print(f"probe traffic         : {result.probe_bytes / 1e6:.0f} MB "
-          f"(group-based: representatives only)")
+          "(group-based: representatives only)")
     print(f"degradations detected : {result.detections}")
-    print(f"fleet at end          : "
+    print("fleet at end          : "
           f"{sum(result.gateway_counts.values())} gateways "
           f"{dict(sorted(result.gateway_counts.items()))}")
     print()

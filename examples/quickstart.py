@@ -34,19 +34,19 @@ def main() -> None:
     loss = result.loss_percentiles(weighted=False)
     print()
     print("network (full mesh, per-pair samples)")
-    print(f"  latency avg/p99/p99.9 : "
+    print("  latency avg/p99/p99.9 : "
           f"{lat['average']:.0f} / {lat['99%']:.0f} / {lat['99.9%']:.0f} ms")
-    print(f"  loss    avg/p99.9     : "
+    print("  loss    avg/p99.9     : "
           f"{loss['average']:.3f}% / {loss['99.9%']:.3f}%")
 
     bill = result.ledger.breakdown()
     print()
     print("operations")
-    print(f"  premium traffic share : "
+    print("  premium traffic share : "
           f"{result.premium_traffic_share() * 100:.1f}%"
           f"  (fast reaction active {result.backup_fraction() * 100:.1f}% "
-          f"of traffic-time)")
-    print(f"  gateways at end       : "
+          "of traffic-time)")
+    print("  gateways at end       : "
           f"{result.containers[:, -1].sum()} containers across "
           f"{len(system.underlay.codes)} regions")
     print(f"  hour's network bill   : {bill.network_cost:.1f} units "

@@ -34,6 +34,16 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         argv.append("--full")
     if args.only:
         argv += ["--only", *args.only]
+    if args.tags:
+        argv += ["--tags", *args.tags]
+    if args.list:
+        argv.append("--list")
+    if args.parallel:
+        argv += ["--parallel", str(args.parallel)]
+    if args.timeout is not None:
+        argv += ["--timeout", str(args.timeout)]
+    if args.manifest:
+        argv += ["--manifest", args.manifest]
     return experiments_runner.main(argv)
 
 
@@ -128,6 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="regenerate paper tables/figures")
     p_exp.add_argument("--full", action="store_true")
     p_exp.add_argument("--only", nargs="*", default=None)
+    p_exp.add_argument("--tags", nargs="*", default=None)
+    p_exp.add_argument("--list", action="store_true")
+    p_exp.add_argument("--parallel", type=int, default=0, metavar="N")
+    p_exp.add_argument("--timeout", type=float, default=None, metavar="S")
+    p_exp.add_argument("--manifest", default=None, metavar="PATH")
     p_exp.set_defaults(fn=_cmd_experiments)
 
     p_run = sub.add_parser("run", help="simulate one system variant")

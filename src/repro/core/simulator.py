@@ -191,7 +191,7 @@ class SimulationResult:
     def _qoe_for_slice(self, sl: slice) -> QoESummary:
         from repro.qoe.video import VideoQoEConfig, stall_series, \
             stall_duration_buckets, frame_rate_series
-        from repro.qoe.audio import audio_fluency_series, fluency_score_counts
+        from repro.qoe.audio import audio_fluency_series
 
         lat = self.latency_ms[:, sl]
         loss = self.loss_rate[:, sl]

@@ -2,8 +2,13 @@
 
 Every module exposes a ``run(...)`` function returning a result dataclass
 with the numbers the paper reports, plus ``lines()`` producing the
-printable rows/series.  ``benchmarks/`` wraps these with pytest-benchmark;
-``runner`` runs everything and collects an EXPERIMENTS-style report.
+printable rows/series.  ``benchmarks/`` wraps these with pytest-benchmark.
+
+``registry`` describes every experiment declaratively (name, callable,
+quick/full kwargs, tags, deterministic seed); ``orchestrator`` executes
+registry entries sequentially or across a process pool with timeouts and
+bounded retries; ``runner`` is the CLI over both and writes the JSON run
+manifest via ``export``.
 
 Index (see DESIGN.md §4 for the full mapping):
 

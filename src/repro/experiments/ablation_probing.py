@@ -42,12 +42,12 @@ class ProbingAblation:
             ["R (representatives)", "state disagreement",
              "probe streams", "cost reduction (x)"],
             rows,
-            title=f"Ablation — group-based probing accuracy vs cost "
+            title="Ablation — group-based probing accuracy vs cost "
                   f"(M={self.gateways_per_region} gateways/region)")
         lines.append("")
         lines.append(f"full-mesh probing needs {self.full_mesh_streams} "
-                     f"streams; links in a pair share quality (Fig. 7), so "
-                     f"small R already tracks the group state")
+                     "streams; links in a pair share quality (Fig. 7), so "
+                     "small R already tracks the group state")
         return lines
 
 

@@ -47,7 +47,7 @@ class StabilityAblation:
              "premium share"], rows,
             title="Ablation — robust link-state planning (flap damping)")
         lines.append("")
-        lines.append(f"robust planning cuts route churn by "
+        lines.append("robust planning cuts route churn by "
                      f"{self.churn_reduction * 100:.0f}% at comparable QoE")
         return lines
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -47,6 +48,16 @@ def cdf_summary(values: Sequence[float],
     """Quantile row summarising a CDF for text output."""
     v = np.asarray(values, dtype=float)
     return [float(np.quantile(v, q)) for q in quantiles]
+
+
+def derive_seed(name: str, base: int = 0) -> int:
+    """Stable per-experiment seed: a CRC of the experiment name.
+
+    Independent of registry order, process, and Python hash
+    randomisation, so sequential and parallel runs (and runs across
+    machines) install identical global-RNG state per experiment.
+    """
+    return (zlib.crc32(name.encode("utf-8")) ^ base) & 0x7FFFFFFF
 
 
 def standard_underlay(seed: int = 1) -> Underlay:

@@ -1,4 +1,4 @@
-"""CSV export of experiment results.
+"""Exports: per-figure CSV series and structured run manifests.
 
 Reviewers and downstream users want the raw series behind each figure,
 not just our rendered tables.  `write_csv(result, directory)` is a
@@ -6,11 +6,18 @@ single-dispatch exporter: every result type that carries plottable data
 registers an extractor, and unknown types export nothing (returning an
 empty list) rather than failing — the benchmark harness calls it for
 every experiment.
+
+`write_manifest(records, path)` serialises an orchestrated run — one
+JSON object per experiment with status, wall-clock, retries, seed,
+output lines, and traceback — as the artifact CI uploads and diffs
+across runs (keys sorted, schema versioned).
 """
 
 from __future__ import annotations
 
 import csv
+import json
+import platform
 from functools import singledispatch
 from pathlib import Path
 from typing import Dict, List, Sequence
@@ -32,13 +39,48 @@ def _write(path: Path, columns: Dict[str, Sequence]) -> Path:
     """Write named columns (equal length) as one CSV file."""
     lengths = {len(v) for v in columns.values()}
     if len(lengths) != 1:
-        raise ValueError(f"column lengths differ: "
+        raise ValueError("column lengths differ: "
                          f"{ {k: len(v) for k, v in columns.items()} }")
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(columns.keys())
         writer.writerows(zip(*columns.values()))
+    return path
+
+
+#: Bump when the manifest layout changes incompatibly.
+MANIFEST_SCHEMA = 1
+
+
+def write_manifest(records: Sequence, path, *, suite: str = "quick",
+                   mode: str = "sequential", workers: int = 1,
+                   total_wall_s: float = 0.0) -> Path:
+    """Write the structured JSON manifest for one orchestrated run.
+
+    ``records`` is a sequence of ``orchestrator.RunRecord``-shaped
+    objects (anything with ``status`` and ``to_json()``).  The document
+    is deterministic apart from measured timings: keys are sorted and
+    experiments keep registry order, so two manifests diff cleanly.
+    """
+    statuses = [r.status for r in records]
+    payload = {
+        "schema": MANIFEST_SCHEMA,
+        "suite": suite,
+        "mode": mode,
+        "workers": workers,
+        "python": platform.python_version(),
+        "total_wall_s": round(total_wall_s, 3),
+        "counts": {status: statuses.count(status)
+                   for status in sorted(set(statuses))},
+        "experiments": [r.to_json() for r in records],
+    }
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     return path
 
 

@@ -39,7 +39,7 @@ class DegradationHistogram:
         ]
         lines = format_table(
             ["tier", "0-10s", "10-20s", "20-30s", ">30s"], rows,
-            title=f"Fig. 9 — degradation durations over "
+            title="Fig. 9 — degradation durations over "
                   f"{self.window_days:.0f} day(s), all region pairs")
         lines.append("")
         lines += histogram_bar(self.internet,

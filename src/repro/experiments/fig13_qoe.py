@@ -62,21 +62,21 @@ class QoEComparison:
              "low audio", "stalls 2-5/5-10/>10s"],
             rows, title=f"Figs. 13-15 — QoE over {self.days:g} day(s)")
         lines.append("")
-        lines.append(f"stall-ratio change XRON vs Internet-only: "
+        lines.append("stall-ratio change XRON vs Internet-only: "
                      f"{self.reduction_vs('stall_ratio') * 100:+.1f}% "
-                     f"(paper: -77%)")
-        lines.append(f"frame-rate change: "
+                     "(paper: -77%)")
+        lines.append("frame-rate change: "
                      f"{self.reduction_vs('mean_fps') * 100:+.1f}% "
-                     f"(paper: +12%)")
-        lines.append(f"fluency change: "
+                     "(paper: +12%)")
+        lines.append("fluency change: "
                      f"{self.reduction_vs('mean_fluency') * 100:+.2f}% "
-                     f"(paper: +1.58%)")
-        lines.append(f"bad-audio change: "
+                     "(paper: +1.58%)")
+        lines.append("bad-audio change: "
                      f"{self.reduction_vs('bad_audio_fraction') * 100:+.1f}% "
-                     f"(paper: -65.2%)")
-        lines.append(f"long-stall change: "
+                     "(paper: -65.2%)")
+        lines.append("long-stall change: "
                      f"{self.long_stall_reduction() * 100:+.1f}% "
-                     f"(paper: -49.1%)")
+                     "(paper: -49.1%)")
         return lines
 
 
@@ -129,19 +129,19 @@ class LongQoEComparison:
         lines = format_table(
             ["version", "stall ratio", "fps", "fluency", "bad audio",
              "premium share"],
-            rows, title=f"Fig. 13 (long mode) — daily QoE over "
+            rows, title="Fig. 13 (long mode) — daily QoE over "
                         f"{self.days} days")
         lines.append("")
         for name, res in self.results.items():
             lines += series_panel(f"{name}: daily stall ratio",
                                   res.series("stall_ratio"))
         lines.append("")
-        lines.append(f"stall-ratio change XRON vs Internet-only: "
+        lines.append("stall-ratio change XRON vs Internet-only: "
                      f"{self.reduction_vs('stall_ratio') * 100:+.1f}% "
-                     f"(paper: -77%)")
-        lines.append(f"bad-audio change: "
+                     "(paper: -77%)")
+        lines.append("bad-audio change: "
                      f"{self.reduction_vs('bad_audio_fraction') * 100:+.1f}"
-                     f"% (paper: -65.2%)")
+                     "% (paper: -65.2%)")
         return lines
 
 

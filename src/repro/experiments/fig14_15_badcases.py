@@ -36,9 +36,9 @@ class BadCasesFigures:
                   for name, buckets in self.stall_buckets().items()]
         lines = format_table(["version", "2-5s", "5-10s", ">10s"], rows14,
                              title="Fig. 14 — long video stall counts")
-        lines.append(f"  >=2 s stall change XRON vs Internet-only: "
+        lines.append("  >=2 s stall change XRON vs Internet-only: "
                      f"{self.comparison.long_stall_reduction() * 100:+.1f}% "
-                     f"(paper -49.1%)")
+                     "(paper -49.1%)")
         lines.append("")
         rows15 = [[name, bad, low]
                   for name, (bad, low) in self.low_audio().items()]
@@ -46,9 +46,9 @@ class BadCasesFigures:
             ["version", "score=1 fraction", "score<=2 fraction"], rows15,
             title="Fig. 15 — low audio-fluency scores")
         lines.append(
-            f"  bad-audio change XRON vs Internet-only: "
+            "  bad-audio change XRON vs Internet-only: "
             f"{self.comparison.reduction_vs('bad_audio_fraction') * 100:+.1f}"
-            f"% (paper -65.2%)")
+            "% (paper -65.2%)")
         return lines
 
 

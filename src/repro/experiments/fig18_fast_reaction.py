@@ -44,19 +44,19 @@ class FastReactionAblation:
     def lines(self) -> List[str]:
         rows = [[name, *c] for name, c in self.counts.items()]
         lines = format_table(["variant", *BUCKET_LABELS], rows,
-                             title=f"Fig. 18 — large inter-frame latency "
+                             title="Fig. 18 — large inter-frame latency "
                                    f"cases over {self.hours:g} h")
         lines.append("")
         for name, c in self.counts.items():
             lines.append(name)
             lines += ["  " + l for l in histogram_bar(c, list(BUCKET_LABELS))]
         lines.append("")
-        lines.append(f"0.4-1 s reduction (XRON vs Basic): "
+        lines.append("0.4-1 s reduction (XRON vs Basic): "
                      f"{self.reduction(0) * 100:+.1f}% (paper -97.6%)")
         lines.append(f"1-2 s reduction: {self.reduction(1) * 100:+.1f}% "
-                     f"(paper -99.8%)")
+                     "(paper -99.8%)")
         lines.append(f">2 s cases, XRON: {self.counts['XRON'][2]} "
-                     f"(paper: eliminated)")
+                     "(paper: eliminated)")
         return lines
 
 

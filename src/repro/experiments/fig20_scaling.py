@@ -61,8 +61,8 @@ class ScalingComparison:
             title="Fig. 20 — proactive vs reactive scaling")
         lines.append("")
         lines.append(f"error-rate reduction: {self.error_reduction * 100:.0f}%"
-                     f" (paper 91%)")
-        lines.append(f"under-provisioned duration prevented: "
+                     " (paper 91%)")
+        lines.append("under-provisioned duration prevented: "
                      f"{self.prevented_duration * 100:.1f}% (paper 97.7%)")
         return lines
 

@@ -2,11 +2,22 @@
 
 Usage::
 
-    python -m repro.experiments.runner            # quick scales
-    python -m repro.experiments.runner --full     # paper-like scales
+    python -m repro.experiments.runner                # quick, sequential
+    python -m repro.experiments.runner --full         # paper-like scales
+    python -m repro.experiments.runner --parallel 4   # process pool
+    python -m repro.experiments.runner --list         # registry overview
+    python -m repro.experiments.runner --manifest m.json
 
-The per-experiment scale knobs live in each module's ``run()``; this
-runner only chooses between the quick defaults and heavier settings.
+The experiments themselves are described declaratively in
+``repro.experiments.registry``; this module is only the CLI: it selects
+specs, dispatches them through ``repro.experiments.orchestrator``
+(sequentially or across a process pool), prints the per-experiment
+report in canonical registry order, and optionally writes the
+structured JSON run manifest (``repro.experiments.export``).
+
+Per-experiment output lines are byte-identical between sequential and
+parallel runs: both paths seed the global RNGs with the spec's
+deterministic seed before the experiment body runs.
 """
 
 from __future__ import annotations
@@ -14,98 +25,103 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, List, Tuple
+from typing import List, Optional
 
-from repro.experiments import (ablation_ordering, ablation_probing,
-                               ablation_stability, ablation_weights,
-                               fig01_02_linkstates, fig03_badtime,
-                               fig04_pricing, fig05_demand, fig07_similarity,
-                               fig08_asymmetry, fig09_degradations,
-                               fig11_weekly, fig12_prediction, fig13_qoe,
-                               fig14_15_badcases, fig16_casestudies,
-                               fig17_cost, fig18_fast_reaction,
-                               fig19_asymmetric, fig20_scaling,
-                               reaction_latency, tab23_network)
+from repro.experiments import orchestrator, registry
+from repro.experiments.base import format_table
+from repro.experiments.export import write_manifest
+from repro.experiments.orchestrator import RunRecord
 
 
-def _experiments(full: bool) -> List[Tuple[str, Callable[[], List[str]]]]:
-    qoe_days = 14.0 if full else 1.0
-    tab_hours = 24.0 if full else 3.0
-    fr_hours = 24.0 if full else 4.0
-    cost_hours = 24.0 if full else 8.0
-
-    shared_fig13 = {}
-
-    def run_fig13() -> List[str]:
-        if full:
-            # Paper-shaped long mode: per-day underlays, persistent
-            # control plane, one QoE point per day.
-            return fig13_qoe.run_long(days=int(qoe_days)).lines()
-        shared_fig13["cmp"] = fig13_qoe.run(days=qoe_days)
-        return shared_fig13["cmp"].lines()
-
-    def run_fig14_15() -> List[str]:
-        # Always a standalone fine-grained run: the coarse fig13 grid
-        # cannot resolve the 2-5 s stall buckets.
-        return fig14_15_badcases.run(
-            days=0.5 if full else 0.25).lines()
-
-    return [
-        ("fig01/02", lambda: fig01_02_linkstates.run().lines()),
-        ("fig03", lambda: fig03_badtime.run().lines()),
-        ("fig04", lambda: fig04_pricing.run().lines()),
-        ("fig05", lambda: fig05_demand.run().lines()),
-        ("fig07", lambda: fig07_similarity.run(
-            window_s=86400.0 if full else 14400.0).lines()),
-        ("fig08", lambda: fig08_asymmetry.run().lines()),
-        ("fig09", lambda: fig09_degradations.run().lines()),
-        ("fig11", lambda: fig11_weekly.run().lines()),
-        ("fig12", lambda: fig12_prediction.run().lines()),
-        ("fig13", run_fig13),
-        ("fig14/15", run_fig14_15),
-        ("tab2/3", lambda: tab23_network.run(hours=tab_hours).lines()),
-        ("fig16", lambda: fig16_casestudies.run().lines()),
-        ("fig17", lambda: fig17_cost.run(hours=cost_hours).lines()),
-        ("fig18", lambda: fig18_fast_reaction.run(hours=fr_hours).lines()),
-        ("fig19", lambda: fig19_asymmetric.run(
-            n_epochs=24 if full else 8).lines()),
-        ("fig20", lambda: fig20_scaling.run().lines()),
-        ("ablation-ordering", lambda: ablation_ordering.run(
-            n_epochs=6 if full else 3).lines()),
-        ("ablation-probing", lambda: ablation_probing.run(
-            max_pairs=20 if full else 8,
-            window_s=14400.0 if full else 7200.0).lines()),
-        ("ablation-weights", lambda: ablation_weights.run(
-            n_epochs=4 if full else 2).lines()),
-        ("ablation-stability", lambda: ablation_stability.run(
-            hours=3.0 if full else 1.5).lines()),
-        ("reaction-latency", lambda: reaction_latency.run(
-            n_events=20 if full else 8).lines()),
-    ]
+def _print_record(record: RunRecord) -> None:
+    """The historical report block for one experiment."""
+    print(f"=== {record.name} " + "=" * max(0, 66 - len(record.name)))
+    for line in record.lines:
+        print(line)
+    if not record.ok:
+        print(f"FAILED ({record.status})")
+        if record.traceback:
+            print(record.traceback.rstrip("\n"))
+    suffix = f" [{record.retries} retries]" if record.retries else ""
+    print(f"--- {record.wall_s:.1f}s{suffix}")
+    print()
 
 
-def main(argv=None) -> int:
+def _list_registry(specs) -> None:
+    rows = [[s.name, " ".join(s.tags), s.resolved_seed(),
+             s.func + (f"/{s.full_func}" if s.full_func else "")]
+            for s in specs]
+    for line in format_table(["experiment", "tags", "seed", "entrypoint"],
+                             rows):
+        print(line)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true",
                         help="paper-like experiment scales (slow)")
     parser.add_argument("--only", nargs="*", default=None,
                         help="run only the named experiments (e.g. fig13)")
+    parser.add_argument("--tags", nargs="*", default=None,
+                        help="run only experiments carrying any given tag")
+    parser.add_argument("--list", action="store_true",
+                        help="list the selected experiments and exit")
+    parser.add_argument("--parallel", type=int, default=0, metavar="N",
+                        help="fan out across N worker processes "
+                             "(0/1 = sequential)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-experiment wall-clock budget in seconds")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="max resubmissions per transiently-failed "
+                             "experiment (parallel mode; default 1)")
+    parser.add_argument("--manifest", default=None, metavar="PATH",
+                        help="write a structured JSON run manifest")
     args = parser.parse_args(argv)
 
-    failures = 0
-    for name, fn in _experiments(args.full):
-        if args.only and not any(sel in name for sel in args.only):
-            continue
-        t0 = time.time()
-        print(f"=== {name} " + "=" * max(0, 66 - len(name)))
-        try:
-            for line in fn():
-                print(line)
-        except Exception as exc:  # pragma: no cover - CLI robustness
-            failures += 1
-            print(f"FAILED: {exc!r}")
-        print(f"--- {time.time() - t0:.1f}s")
-        print()
+    specs = registry.select(only=args.only, tags=args.tags)
+    if not specs:
+        print("no experiments match "
+              f"--only {args.only or []} --tags {args.tags or []}",
+              file=sys.stderr)
+        return 2
+
+    if args.list:
+        _list_registry(specs)
+        return 0
+
+    names = [s.name for s in specs]
+    t0 = time.perf_counter()
+    if args.parallel and args.parallel > 1:
+        # Print in canonical order once everything lands; stream
+        # completion progress to stderr in the meantime.
+        def _progress(record: RunRecord) -> None:
+            print(f"[{record.status}] {record.name} "
+                  f"({record.wall_s:.1f}s)", file=sys.stderr, flush=True)
+
+        records = orchestrator.run_parallel(
+            names, full=args.full, workers=args.parallel,
+            timeout_s=args.timeout, retries=args.retries,
+            on_record=_progress)
+        for record in records:
+            _print_record(record)
+    else:
+        records = orchestrator.run_sequential(
+            names, full=args.full, timeout_s=args.timeout,
+            on_record=_print_record)
+    total_wall_s = time.perf_counter() - t0
+
+    if args.manifest:
+        path = write_manifest(
+            records, args.manifest,
+            suite="full" if args.full else "quick",
+            mode="parallel" if args.parallel > 1 else "sequential",
+            workers=args.parallel if args.parallel > 1 else 1,
+            total_wall_s=total_wall_s)
+        print(f"manifest: {path}", file=sys.stderr)
+
+    failures = [r for r in records if not r.ok]
+    print(f"{len(records) - len(failures)}/{len(records)} experiments ok "
+          f"in {total_wall_s:.1f}s", file=sys.stderr)
     return 1 if failures else 0
 
 

@@ -44,18 +44,18 @@ class NetworkTables:
         loss = [[name] + [row[c] for c in cols]
                 for name, row in self.loss_rows.items()]
         lines = format_table(["service"] + cols, lat,
-                             title=f"Table 2 — latency (ms), full mesh, "
+                             title="Table 2 — latency (ms), full mesh, "
                                    f"{self.hours:g} h")
         lines.append("")
         lines += format_table(["service"] + cols, loss,
                               title="Table 3 — loss rate (%)")
         lines.append("")
         lines.append(
-            f"latency improvement vs Internet-only: p99 "
+            "latency improvement vs Internet-only: p99 "
             f"{self.improvement('99%'):.1f}x (paper 1.9x), p99.9 "
             f"{self.improvement('99.9%'):.1f}x (paper 9x)")
         lines.append(
-            f"loss p99.9 improvement: "
+            "loss p99.9 improvement: "
             f"{self.improvement('99.9%', table='loss'):.0f}x (paper 263x)")
         return lines
 

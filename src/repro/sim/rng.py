@@ -57,7 +57,8 @@ class RngStreams:
 
     def seed_for(self, key: str) -> int:
         """A stable 64-bit sub-seed for `key` (for hash-noise streams)."""
-        return (_key_to_seed(key) ^ (self.root_seed * 0x9E3779B97F4A7C15)) & 0xFFFFFFFFFFFFFFFF
+        mixed = _key_to_seed(key) ^ (self.root_seed * 0x9E3779B97F4A7C15)
+        return mixed & 0xFFFFFFFFFFFFFFFF
 
     def fork(self, key: str) -> "RngStreams":
         """A child registry whose streams are all independent of ours."""

@@ -140,7 +140,7 @@ class LinkProcess:
             raise ValueError(
                 f"query at t={float(np.max(t)):.0f}s exceeds the generated "
                 f"horizon {self.timeline.horizon_s:.0f}s; build the underlay "
-                f"with a larger horizon")
+                "with a larger horizon")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"LinkProcess({self.src.code}->{self.dst.code}, "

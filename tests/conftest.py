@@ -7,7 +7,7 @@ import pytest
 
 from repro.traffic.demand import DemandModel
 from repro.underlay.config import UnderlayConfig
-from repro.underlay.regions import Region, default_regions
+from repro.underlay.regions import default_regions
 from repro.underlay.topology import Underlay, build_underlay
 
 #: Four regions spanning three continents: enough for relaying, small

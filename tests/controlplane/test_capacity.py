@@ -1,6 +1,5 @@
 """Tests for capacity control (§5.3, step 2)."""
 
-import pytest
 
 from repro.controlplane.model import ControlConfig
 from repro.controlplane.pathcontrol import path_control

@@ -1,6 +1,5 @@
 """Tests for the assembled controller loop."""
 
-import numpy as np
 import pytest
 
 from repro.controlplane.controller import Controller

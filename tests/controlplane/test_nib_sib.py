@@ -1,6 +1,5 @@
 """Tests for the network and stream information bases."""
 
-import numpy as np
 import pytest
 
 from repro.controlplane.nib import LinkReport, NetworkInformationBase

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.controlplane.model import ControlConfig, path_latency_ms
+from repro.controlplane.model import ControlConfig
 from repro.controlplane.pathcontrol import path_control
 from repro.traffic.streams import Stream, VIDEO_PROFILES
 from repro.underlay.linkstate import LinkType

@@ -9,7 +9,6 @@ from repro.controlplane.nib import LinkReport
 from repro.core.config import SimulationConfig
 from repro.core.simulator import EpochSimulator
 from repro.core.variants import xron
-from repro.traffic.config import TrafficConfig
 from repro.traffic.demand import DemandModel
 from repro.traffic.matrix import TrafficMatrix
 from repro.underlay.config import UnderlayConfig

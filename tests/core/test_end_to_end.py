@@ -8,7 +8,6 @@ from repro.core.config import SimulationConfig
 from repro.core.system import XRONSystem
 from repro.core.variants import internet_only, premium_only, xron, xron_basic
 from repro.underlay.config import UnderlayConfig
-from repro.underlay.regions import default_regions
 
 
 @pytest.fixture(scope="module")

@@ -3,14 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.controlplane.model import ControlConfig
 from repro.core.config import SimulationConfig
-from repro.core.simulator import EpochSimulator
 from repro.core.system import XRONSystem
 from repro.core.variants import (internet_only, premium_only, xron,
                                  xron_basic)
 from repro.underlay.config import UnderlayConfig
-from repro.underlay.linkstate import LinkType
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dataplane.config import MonitoringConfig, ReactionConfig
+from repro.dataplane.config import ReactionConfig
 from repro.dataplane.gateway import Gateway
 from repro.underlay.events import DegradationEvent
 from repro.underlay.linkstate import LinkType

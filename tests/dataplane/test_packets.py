@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.dataplane.config import MonitoringConfig
-from repro.dataplane.packets import PacketLevelProber, ProbePacket
+from repro.dataplane.packets import PacketLevelProber
 from repro.underlay.config import UnderlayConfig
 from repro.underlay.events import DegradationEvent
 from repro.underlay.linkstate import LinkType

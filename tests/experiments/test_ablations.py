@@ -1,6 +1,5 @@
 """Tests for the extra ablation experiments."""
 
-import numpy as np
 import pytest
 
 from repro.controlplane.model import ControlConfig

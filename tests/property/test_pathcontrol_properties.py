@@ -12,7 +12,6 @@ invariants must hold regardless:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -10,7 +10,6 @@ checks them over random link states and random forwarding paths:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.controlplane.model import OverlayPath

@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.qoe.audio import (AudioQoEConfig, audio_fluency_series,
-                             e_model_r_factor, fluency_score_counts,
-                             r_to_mos)
+from repro.qoe.audio import (audio_fluency_series, e_model_r_factor,
+                             fluency_score_counts, r_to_mos)
 
 
 class TestRFactor:
@@ -19,7 +18,6 @@ class TestRFactor:
         assert r_high < r_low
 
     def test_knee_at_177ms(self):
-        cfg = AudioQoEConfig()
         slope_before = (e_model_r_factor(np.array([150.0]), np.zeros(1))
                         - e_model_r_factor(np.array([100.0]), np.zeros(1)))
         slope_after = (e_model_r_factor(np.array([300.0]), np.zeros(1))

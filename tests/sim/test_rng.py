@@ -1,7 +1,6 @@
 """Tests for deterministic randomness utilities."""
 
 import numpy as np
-import pytest
 
 from repro.sim.rng import RngStreams, hash_noise, hash_uniform
 
