@@ -4,7 +4,14 @@ Measures the orchestration substrate, not the experiments: process-pool
 fan-out of a fixed four-experiment micro-suite versus running the same
 suite sequentially in-process, plus manifest serialisation.  The
 parallel/sequential ratio is the number every future perf PR moves.
+
+Also home to the telemetry overhead benchmark (``--overhead`` when run
+as a script): the same experiments with and without `repro.obs`
+capture, guarding the subsystem's below-5 % overhead budget.
 """
+
+import argparse
+import time
 
 from repro.experiments import orchestrator
 from repro.experiments.export import write_manifest
@@ -12,6 +19,52 @@ from repro.experiments.export import write_manifest
 #: Sub-second experiments only: the benchmark times orchestration
 #: overhead and speedup, so the payload must stay small.
 MICRO_SUITE = ["fig03", "fig04", "fig09", "fig11"]
+
+#: A quick-suite-representative slice that still over-weights the two
+#: experiments with the hottest instrumented loops (fig20 hammers the
+#: autoscalers, reaction-latency the probing / fast-reaction
+#: machinery), so the measured ratio is conservative relative to the
+#: full suite's.  fig19 stands in for the typical epoch-mode
+#: experiment.
+OVERHEAD_SUITE = ["fig20", "reaction-latency", "fig19"]
+
+#: Telemetry must cost less than this much extra CPU.
+OVERHEAD_BUDGET = 1.05
+
+
+def measure_overhead(names=tuple(OVERHEAD_SUITE), repeats=3):
+    """Paired instrumented/uninstrumented CPU time for the suite.
+
+    Methodology, chosen to resolve a few-percent effect on a shared,
+    noisy machine:
+
+    * `time.process_time` (CPU seconds; the suite runs in-process), so
+      other tenants' wall-clock interference does not register;
+    * each repeat runs both arms back-to-back and contributes one
+      *paired* ratio, so slow drift (thermal, placement) hits both arms
+      of a pair roughly equally;
+    * the pair order alternates (off/on, on/off, ...) to cancel any
+      residual within-pair drift bias, and the reported ratio is the
+      median of the paired ratios.
+    """
+    def one_pass(telemetry):
+        t0 = time.process_time()
+        records = orchestrator.run_sequential(list(names),
+                                              telemetry=telemetry)
+        assert all(r.ok for r in records)
+        return time.process_time() - t0
+
+    ratios, base_cpu, instr_cpu = [], [], []
+    for rep in range(repeats):
+        arms = (False, True) if rep % 2 == 0 else (True, False)
+        cpu = {arm: one_pass(arm) for arm in arms}
+        base_cpu.append(cpu[False])
+        instr_cpu.append(cpu[True])
+        ratios.append(cpu[True] / cpu[False])
+    ratios.sort()
+    median = ratios[len(ratios) // 2] if len(ratios) % 2 else (
+        ratios[len(ratios) // 2 - 1] + ratios[len(ratios) // 2]) / 2
+    return min(base_cpu), min(instr_cpu), median
 
 
 def test_sequential_micro_suite(run_once, emit):
@@ -36,3 +89,38 @@ def test_manifest_write(run_once, tmp_path):
         records, tmp_path / "manifest.json", suite="bench",
         mode="sequential", workers=1, total_wall_s=records[0].wall_s))
     assert path.exists()
+
+
+def test_telemetry_overhead(run_once, emit):
+    base, instrumented, ratio = run_once(
+        lambda: measure_overhead(repeats=5))
+    emit("orchestrator_telemetry_overhead",
+         [f"suite: {' '.join(OVERHEAD_SUITE)}",
+          f"uninstrumented: {base:.2f}s cpu",
+          f"instrumented:   {instrumented:.2f}s cpu",
+          f"overhead ratio: {ratio:.3f} (budget {OVERHEAD_BUDGET:.2f})"])
+    assert ratio < OVERHEAD_BUDGET
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Orchestrator benchmarks (script mode)")
+    parser.add_argument(
+        "--overhead", action="store_true",
+        help="measure instrumented-vs-uninstrumented suite wall-clock")
+    parser.add_argument("--repeats", type=int, default=7,
+                        help="paired passes to take the median over "
+                             "(default 7)")
+    args = parser.parse_args(argv)
+    if not args.overhead:
+        parser.error("nothing to do: pass --overhead")
+    base, instrumented, ratio = measure_overhead(repeats=args.repeats)
+    print(f"suite: {' '.join(OVERHEAD_SUITE)} ({args.repeats} passes/arm)")
+    print(f"uninstrumented: {base:.2f}s cpu")
+    print(f"instrumented:   {instrumented:.2f}s cpu")
+    print(f"overhead ratio: {ratio:.3f} (budget {OVERHEAD_BUDGET:.2f})")
+    return 0 if ratio < OVERHEAD_BUDGET else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,11 +8,13 @@ Commands:
   operator summary (QoE, tails, bill).
 * ``demo`` — the event-driven deployment, minute-scale, live mechanisms.
 * ``info`` — the deployment at a glance (regions, links, pricing).
+* ``obs`` — inspect telemetry JSONL files (``obs summary run.jsonl``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -44,7 +46,43 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         argv += ["--timeout", str(args.timeout)]
     if args.manifest:
         argv += ["--manifest", args.manifest]
+    if args.telemetry:
+        argv += ["--telemetry", args.telemetry]
     return experiments_runner.main(argv)
+
+
+def _write_telemetry(path: str, hub, **meta) -> None:
+    """Dump a capture window's events + metrics as telemetry JSONL."""
+    from repro.obs.export import write_jsonl
+
+    out = write_jsonl(path, hub.events_json(),
+                      metrics=hub.metrics.snapshot(), meta=meta or None)
+    print(f"telemetry: {out}", file=sys.stderr)
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.export import TelemetryFormatError, read_jsonl
+    from repro.obs.summary import render, summarize
+
+    try:
+        doc = read_jsonl(args.path)
+    except (OSError, TelemetryFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize(doc)
+    if summary.empty:
+        print(f"error: {args.path} holds no events and no metrics",
+              file=sys.stderr)
+        return 1
+    try:
+        for line in render(summary, max_metrics=args.max_metrics):
+            print(line)
+    except BrokenPipeError:
+        # Downstream (e.g. `| head`) closed the pipe: not an error, but
+        # detach stdout so the interpreter's shutdown flush stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -60,8 +98,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                     seed=args.seed))
     print(f"simulating {args.hours:g} h of '{args.variant}' from "
           f"{args.start_hour:g}:00 UTC (seed {args.seed}) ...")
-    result = system.run(variant=make(), start_hour=args.start_hour,
-                        hours=args.hours)
+    if args.telemetry:
+        from repro import obs
+        with obs.capture() as hub:
+            result = system.run(variant=make(), start_hour=args.start_hour,
+                                hours=args.hours)
+        _write_telemetry(args.telemetry, hub, command="run",
+                         variant=args.variant)
+    else:
+        result = system.run(variant=make(), start_hour=args.start_hour,
+                            hours=args.hours)
     qoe = result.qoe_summary()
     lat = result.latency_percentiles(weighted=False)
     loss = result.loss_percentiles(weighted=False)
@@ -94,7 +140,13 @@ def _run_demo(args: argparse.Namespace) -> int:
                                     seed=args.seed))
     print(f"event-driven run: {args.minutes:g} min across "
           f"{len(regions)} regions ...")
-    result = system.run(2 * 3600.0, args.minutes * 60.0)
+    if args.telemetry:
+        from repro import obs
+        with obs.capture() as hub:
+            result = system.run(2 * 3600.0, args.minutes * 60.0)
+        _write_telemetry(args.telemetry, hub, command="demo")
+    else:
+        result = system.run(2 * 3600.0, args.minutes * 60.0)
     print(f"events {result.events_processed:,} | epochs "
           f"{len(result.control_outputs)} | detections {result.detections}"
           f" | probe MB {result.probe_bytes / 1e6:.0f}")
@@ -143,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--parallel", type=int, default=0, metavar="N")
     p_exp.add_argument("--timeout", type=float, default=None, metavar="S")
     p_exp.add_argument("--manifest", default=None, metavar="PATH")
+    p_exp.add_argument("--telemetry", default=None, metavar="PATH")
     p_exp.set_defaults(fn=_cmd_experiments)
 
     p_run = sub.add_parser("run", help="simulate one system variant")
@@ -153,16 +206,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--epoch", type=float, default=300.0)
     p_run.add_argument("--step", type=float, default=10.0)
     p_run.add_argument("--seed", type=int, default=42)
+    p_run.add_argument("--telemetry", default=None, metavar="PATH",
+                       help="capture metrics/trace events to a JSONL file")
     p_run.set_defaults(fn=_cmd_run)
 
     p_demo = sub.add_parser("demo", help="event-driven deployment demo")
     p_demo.add_argument("--minutes", type=float, default=3.0)
     p_demo.add_argument("--seed", type=int, default=11)
+    p_demo.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="capture metrics/trace events to a JSONL file")
     p_demo.set_defaults(fn=_run_demo)
 
     p_info = sub.add_parser("info", help="deployment at a glance")
     p_info.add_argument("--seed", type=int, default=1)
     p_info.set_defaults(fn=_cmd_info)
+
+    p_obs = sub.add_parser("obs", help="inspect telemetry JSONL files")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_sum = obs_sub.add_parser("summary",
+                               help="human-readable telemetry summary")
+    p_sum.add_argument("path", help="telemetry JSONL file")
+    p_sum.add_argument("--max-metrics", type=int, default=40,
+                       help="cap the metrics table (default 40)")
+    p_sum.set_defaults(fn=_cmd_obs)
 
     return parser
 

@@ -13,6 +13,7 @@ Each epoch (five minutes in production) the controller:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -24,10 +25,13 @@ from repro.controlplane.nib import NetworkInformationBase
 from repro.controlplane.pathcontrol import PathControlResult, path_control
 from repro.controlplane.reactionplan import ReactionPlan, generate_reaction_plans
 from repro.controlplane.sib import StreamInformationBase
+from repro.obs import telemetry as _telemetry
 from repro.traffic.matrix import TrafficMatrix
 from repro.traffic.streams import Stream, StreamWorkload
 from repro.underlay.linkstate import LinkType
 from repro.underlay.pricing import PricingModel
+
+_TEL = _telemetry()
 
 
 @dataclass
@@ -119,17 +123,36 @@ class Controller:
         The NIB must already hold fresh link reports (the data plane's
         monitoring pushes them continuously).
         """
-        self.sib.record_epoch(observed_matrix)
-        predicted = self.sib.predicted_matrix()
-        streams = self._workload.decompose(predicted)
+        traced = _TEL.enabled
+        t0 = time.perf_counter() if traced else 0.0
+        with _TEL.span("algo_step", t=now, step="predict"):
+            self.sib.record_epoch(observed_matrix)
+            predicted = self.sib.predicted_matrix()
+            streams = self._workload.decompose(predicted)
 
-        r_cur = path_control(streams, self.codes, self.link_state,
-                             self.config, gateways=gateways,
-                             fees=self.pricing)
-        decision = capacity_control(streams, self.codes, self.link_state,
-                                    self.config, gateways, r_cur,
-                                    fees=self.pricing)
-        plans = generate_reaction_plans(r_cur, self.link_state,
-                                        self.config.loss_ms_penalty)
+        with _TEL.span("algo_step", t=now, step="algo1.path_control"):
+            r_cur = path_control(streams, self.codes, self.link_state,
+                                 self.config, gateways=gateways,
+                                 fees=self.pricing)
+        with _TEL.span("algo_step", t=now, step="capacity_control"):
+            decision = capacity_control(streams, self.codes, self.link_state,
+                                        self.config, gateways, r_cur,
+                                        fees=self.pricing)
+        with _TEL.span("algo_step", t=now, step="algo2.reaction_plans"):
+            plans = generate_reaction_plans(r_cur, self.link_state,
+                                            self.config.loss_ms_penalty)
         self.epochs_run += 1
+        if traced:
+            _TEL.counter("controller.epochs").inc()
+            _TEL.event(
+                "control_epoch", t=now,
+                streams=len(streams),
+                assignments=len(r_cur.assignments),
+                unassigned=len(r_cur.unassigned),
+                graph_rebuilds=r_cur.graph_rebuilds,
+                reaction_plans=len(plans),
+                predicted_mbps=round(predicted.total(), 3),
+                observed_mbps=round(observed_matrix.total(), 3),
+                capacity_target=decision.total_target(),
+                duration_ms=round((time.perf_counter() - t0) * 1e3, 3))
         return ControlOutput(now, r_cur, decision, plans, predicted, streams)

@@ -31,10 +31,13 @@ import numpy as np
 
 from repro.controlplane.model import (ControlConfig, LinkStateFn, OverlayPath,
                                       path_latency_ms, path_loss_rate)
+from repro.obs import telemetry as _telemetry
 from repro.traffic.streams import Stream
 from repro.underlay.linkstate import LinkType
 from repro.underlay.pricing import PricingModel
 from repro.underlay.regions import RegionPair
+
+_TEL = _telemetry()
 
 _TYPES = (LinkType.INTERNET, LinkType.PREMIUM)
 
@@ -338,7 +341,17 @@ def path_control(streams: List[Stream], codes: List[str], state: LinkStateFn,
     unassigned = [(by_id[sid], res) for sid, res in remaining.items()
                   if res > 1e-9]
 
-    return _summarise(assignments, unassigned, codes, config, rebuilds)
+    result = _summarise(assignments, unassigned, codes, config, rebuilds)
+    if _TEL.enabled:
+        _TEL.counter("pathcontrol.runs").inc()
+        _TEL.counter("pathcontrol.graph_rebuilds").inc(rebuilds)
+        _TEL.counter("pathcontrol.assignments").inc(len(result.assignments))
+        _TEL.counter("pathcontrol.unassigned").inc(len(result.unassigned))
+        hops = _TEL.histogram("pathcontrol.path_hops",
+                              buckets=(1.0, 2.0, 3.0, 4.0, 5.0, 6.0))
+        for a in result.assignments:
+            hops.observe(len(a.path.hops))
+    return result
 
 
 def _summarise(assignments: List[Assignment],

@@ -17,6 +17,10 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.obs import telemetry as _telemetry
+
+_TEL = _telemetry()
+
 
 class DTFTPredictor:
     """Fit a truncated Fourier series to a demand history and extrapolate."""
@@ -120,6 +124,8 @@ class RollingPredictor:
                      or self._since_fit >= self.refit_every)):
             self.predictor.fit(self._history)
             self._since_fit = 0
+            if _TEL.enabled:
+                _TEL.counter("prediction.refits").inc()
 
     def predict_next(self, horizon_slots: int = 1) -> float:
         """Predicted demand over the next `horizon_slots` (max across them).

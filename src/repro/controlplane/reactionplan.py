@@ -27,7 +27,10 @@ from typing import Dict, Tuple
 from repro.controlplane.model import (LinkStateFn, OverlayPath,
                                       path_latency_ms, path_loss_rate)
 from repro.controlplane.pathcontrol import PathControlResult
+from repro.obs import telemetry as _telemetry
 from repro.underlay.linkstate import LinkType
+
+_TEL = _telemetry()
 
 
 @dataclass(frozen=True)
@@ -97,6 +100,12 @@ def generate_reaction_plans(result: PathControlResult, state: LinkStateFn,
             if key not in plans:
                 plans[key] = ReactionPlan(assignment.stream.stream_id, r_i,
                                           best)
+    if _TEL.enabled:
+        _TEL.counter("reactionplan.plans").inc(len(plans))
+        relay_hops = _TEL.histogram("reactionplan.relay_hops",
+                                    buckets=(1.0, 2.0, 3.0, 4.0, 5.0))
+        for plan in plans.values():
+            relay_hops.observe(len(plan.relay_regions))
     return plans
 
 

@@ -34,6 +34,7 @@ from repro.core.config import SimulationConfig
 from repro.core.variants import VariantSpec, xron
 from repro.dataplane.cluster import RegionCluster
 from repro.elastic.containers import ContainerPool
+from repro.obs import telemetry as _telemetry
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.traffic.demand import DemandModel
@@ -44,6 +45,8 @@ from repro.underlay.topology import Underlay
 
 #: Packets per tracked session per measurement tick (passive tracking).
 _PACKETS_PER_TICK = 50
+
+_TEL = _telemetry()
 
 
 @dataclass
@@ -188,6 +191,12 @@ class EventDrivenXRON:
             # Controller unreachable: the data plane soldiers on with the
             # last-installed tables and plans, reacting locally.
             self.skipped_epochs += 1
+            if _TEL.enabled:
+                _TEL.counter("eventsim.skipped_epochs").inc()
+                _TEL.event("controller_outage", t=now,
+                           outage_start=self.controller_outage[0],
+                           outage_end=self.controller_outage[1],
+                           skipped_epochs=self.skipped_epochs)
             return
         # The very first epoch needs NIB state: run one probing round.
         if len(self.controller.nib) == 0:
@@ -202,6 +211,10 @@ class EventDrivenXRON:
         if self.variant.elastic:
             for code, target in output.capacity.target.items():
                 self.pools[code].scale_to(target, now)
+            if _TEL.enabled:
+                _TEL.event("autoscale", t=now, policy="capacity_control",
+                           target=output.capacity.total_target(),
+                           ready=sum(ready.values()))
         # The fleet follows the pool's *ready* container count.
         for code, cluster in self.clusters.items():
             cluster.scale_to(max(1, self.pools[code].ready_count(now)))
@@ -223,8 +236,13 @@ class EventDrivenXRON:
                     key not in best or a.mbps > best[key][1]):
                 best[key] = (a.stream.stream_id, a.mbps)
         for pair in self.sessions:
-            self._session_stream[pair] = (best[pair][0] if pair in best
-                                          else None)
+            new_sid = best[pair][0] if pair in best else None
+            if _TEL.enabled and new_sid != self._session_stream[pair]:
+                _TEL.counter("eventsim.session_rebinds").inc()
+                _TEL.event("path_decision", t=now, src=pair[0], dst=pair[1],
+                           stream=new_sid,
+                           previous_stream=self._session_stream[pair])
+            self._session_stream[pair] = new_sid
 
     def _measure(self, sim: Simulator) -> None:
         now = sim.now
@@ -233,7 +251,7 @@ class EventDrivenXRON:
             sid = self._session_stream[pair]
             if sid is None:
                 continue
-            hops = self._walk(pair, sid)
+            hops = self._walk(pair, sid, now)
             if hops is None:
                 continue
             latency = 0.0
@@ -260,7 +278,8 @@ class EventDrivenXRON:
             record.on_backup.append(on_backup)
             record.hop_counts.append(len(hops))
 
-    def _walk(self, pair: RegionPair, stream_id: int
+    def _walk(self, pair: RegionPair, stream_id: int,
+              now: Optional[float] = None
               ) -> Optional[List[Tuple[str, str, LinkType, bool]]]:
         """Follow the live forwarding decisions from source to destination."""
         src, dst = pair
@@ -269,7 +288,7 @@ class EventDrivenXRON:
         for __ in range(8):  # generous loop guard
             if current == dst:
                 return hops
-            decision = self.clusters[current].forward(stream_id)
+            decision = self.clusters[current].forward(stream_id, now)
             if decision is None:
                 return None
             hops.append((current, decision.next_hop, decision.link_type,

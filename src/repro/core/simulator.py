@@ -37,6 +37,7 @@ from repro.dataplane.forwarding import effective_path_series
 from repro.dataplane.grouping import ProbingGroupManager
 from repro.dataplane.probing import burst_series
 from repro.elastic.containers import ContainerPool
+from repro.obs import telemetry as _telemetry
 from repro.qoe.metrics import QoESummary
 from repro.sim.rng import RngStreams
 from repro.traffic.demand import DemandModel
@@ -44,6 +45,8 @@ from repro.traffic.matrix import TrafficMatrix
 from repro.underlay.linkstate import LinkType
 from repro.underlay.regions import RegionPair
 from repro.underlay.topology import Underlay
+
+_TEL = _telemetry()
 
 
 class _EpochLinkCache:
@@ -303,6 +306,8 @@ class EpochSimulator:
         for e in range(n_epochs):
             now = float(epoch_starts[e])
             epoch_end = now + cfg.epoch_s
+            if _TEL.enabled:
+                _TEL.counter("simulator.epochs").inc()
             matrix = TrafficMatrix.from_model(self.demand, now,
                                               cfg.demand_scale)
             for pair, d in matrix.items():
@@ -318,6 +323,11 @@ class EpochSimulator:
                 if self.variant.elastic:
                     for code, target in output.capacity.target.items():
                         self._pools[code].scale_to(target, now)
+                    if _TEL.enabled:
+                        _TEL.event(
+                            "autoscale", t=now, policy="capacity_control",
+                            target=output.capacity.total_target(),
+                            ready=sum(ready.values()))
                 for a in output.path_result.assignments:
                     normal_hops.append((len(a.path.hops), a.mbps))
 
@@ -329,9 +339,19 @@ class EpochSimulator:
             rep_paths = self._representative_paths(output)
             # Route churn: how many pairs changed representative paths.
             if prev_paths:
-                changed = sum(
-                    1 for pair, (path, __) in rep_paths.items()
-                    if prev_paths.get(pair) != path.hops)
+                changed = 0
+                for pair, (path, __) in rep_paths.items():
+                    if prev_paths.get(pair) == path.hops:
+                        continue
+                    changed += 1
+                    if _TEL.enabled:
+                        _TEL.counter("simulator.path_changes").inc()
+                        _TEL.event(
+                            "path_decision", t=now, src=pair[0], dst=pair[1],
+                            hops=[f"{a}->{b}:{t.value}"
+                                  for a, b, t in path.hops],
+                            previous_hops=len(prev_paths[pair])
+                            if pair in prev_paths else 0)
                 churn[e] = changed / len(rep_paths)
             prev_paths = {pair: path.hops
                           for pair, (path, __) in rep_paths.items()}
@@ -377,6 +397,10 @@ class EpochSimulator:
                 reports.append(self._grouping.aggregate(
                     link.src.code, link.dst.code, lt, measurements, now))
         self.controller.nib.update_many(reports)
+        if _TEL.enabled:
+            _TEL.counter("simulator.probe_rounds").inc()
+            _TEL.event("probe_round", t=now, region="*",
+                       representatives=reps, reports=len(reports))
 
     def _representative_paths(self, output: Optional[ControlOutput]
                               ) -> Dict[RegionPair, Tuple[OverlayPath,
@@ -455,3 +479,11 @@ class EpochSimulator:
                                                         epoch_s)
                     premium_gb[epoch] += reacted * epoch_s / 8000.0
                 reaction_hops.append((len(backup_regions) - 1, reacted))
+                if _TEL.enabled:
+                    _TEL.counter("simulator.failovers").inc()
+                    _TEL.event(
+                        "failover", t=float(cache.t0), src=pair[0],
+                        dst=pair[1], backup_fraction=round(frac_backup, 4),
+                        reacted_mbps=round(reacted, 3),
+                        backup_hops=len(backup_regions) - 1,
+                        planned=stream_id is not None)

@@ -18,8 +18,11 @@ from repro.controlplane.nib import LinkReport
 from repro.dataplane.config import MonitoringConfig, ReactionConfig
 from repro.dataplane.gateway import ForwardDecision, Gateway
 from repro.dataplane.grouping import ProbingGroupManager
+from repro.obs import telemetry as _telemetry
 from repro.underlay.linkstate import LinkType
 from repro.underlay.topology import Underlay
+
+_TEL = _telemetry()
 
 
 class RegionCluster:
@@ -99,6 +102,7 @@ class RegionCluster:
         for rep in reps:
             rep.probe_all(now)
         reports: List[LinkReport] = []
+        degraded_links = 0
         for dst in self.underlay.codes:
             if dst == self.region:
                 continue
@@ -111,12 +115,18 @@ class RegionCluster:
                     rep.estimator(dst, lt).degraded for rep in reps)
                 # Strict majority of representatives (median semantics).
                 degraded = degraded_votes * 2 > len(reps)
+                degraded_links += degraded
                 for gateway in self.gateways.values():
                     if gateway in reps:
                         continue
                     gateway.estimator(dst, lt).apply_group_state(
                         now, report.latency_ms, report.loss_rate, degraded)
                 reports.append(report)
+        if _TEL.enabled:
+            _TEL.counter("cluster.probe_rounds").inc()
+            _TEL.event("probe_round", t=now, region=self.region,
+                       representatives=len(reps), reports=len(reports),
+                       degraded_links=degraded_links)
         return reports
 
     def flush_passive(self, now: float) -> None:
@@ -130,14 +140,15 @@ class RegionCluster:
         for gateway in self.gateways.values():
             gateway.install_tables(entries, plans)
 
-    def forward(self, stream_id: int) -> Optional[ForwardDecision]:
+    def forward(self, stream_id: int,
+                now: Optional[float] = None) -> Optional[ForwardDecision]:
         """Resolve a stream via one of the gateways (round robin)."""
         if not self.gateways:
             return None
         ids = sorted(self.gateways)
         gid = ids[self._rr_index % len(ids)]
         self._rr_index += 1
-        return self.gateways[gid].forward(stream_id)
+        return self.gateways[gid].forward(stream_id, now)
 
     # ------------------------------------------------------------ telemetry
     def probe_bytes(self) -> int:

@@ -21,7 +21,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.controlplane.model import OverlayPath, PathHop
+from repro.obs import telemetry as _telemetry
 from repro.underlay.linkstate import LinkType
+
+_TEL = _telemetry()
 
 
 @dataclass(frozen=True)
@@ -47,6 +50,10 @@ class ForwardingTable:
             sid: ForwardingEntry(sid, nxt, lt)
             for sid, (nxt, lt) in entries.items()}
         self.version += 1
+        if _TEL.enabled:
+            _TEL.counter("forwarding.installs").inc()
+            _TEL.counter("forwarding.entries_installed").inc(
+                len(self._entries))
 
     def lookup(self, stream_id: int) -> Optional[ForwardingEntry]:
         return self._entries.get(stream_id)

@@ -20,8 +20,11 @@ from repro.dataplane.estimator import LinkStateEstimator
 from repro.dataplane.forwarding import ForwardingTable
 from repro.dataplane.passive import PassiveTracker
 from repro.dataplane.probing import ActiveProber, ProbeBurst
+from repro.obs import telemetry as _telemetry
 from repro.underlay.linkstate import LinkType
 from repro.underlay.topology import Underlay
+
+_TEL = _telemetry()
 
 
 @dataclass(frozen=True)
@@ -53,6 +56,8 @@ class Gateway:
         #: Reaction plans for streams traversing this region:
         #: stream_id -> relay sequence to destination.
         self._plans: Dict[int, Tuple[str, ...]] = {}
+        #: Streams currently riding their backup path (trace edges only).
+        self._on_backup: set = set()
         self._probers: Dict[Tuple[str, LinkType], ActiveProber] = {}
         self._estimators: Dict[Tuple[str, LinkType], LinkStateEstimator] = {}
         for dst in underlay.codes:
@@ -98,10 +103,12 @@ class Gateway:
         self.table.install(entries)
         self._plans = dict(plans)
 
-    def forward(self, stream_id: int) -> Optional[ForwardDecision]:
+    def forward(self, stream_id: int,
+                now: Optional[float] = None) -> Optional[ForwardDecision]:
         """Resolve a stream's current next hop, applying local reaction.
 
         Returns None for unknown streams (the caller drops or buffers).
+        ``now`` (simulated time) only stamps trace events.
         """
         entry = self.table.lookup(stream_id)
         if entry is None:
@@ -110,10 +117,34 @@ class Gateway:
                 and self.link_degraded(entry.next_hop, entry.link_type)):
             relays = self._plans.get(stream_id)
             if relays:
-                return ForwardDecision(relays[0], LinkType.PREMIUM, True)
-            # No plan (e.g. the degradation predates the first plan push):
-            # fall back to the direct premium link toward the same next hop.
-            return ForwardDecision(entry.next_hop, LinkType.PREMIUM, True)
+                decision = ForwardDecision(relays[0], LinkType.PREMIUM, True)
+            else:
+                # No plan (e.g. the degradation predates the first plan
+                # push): fall back to the direct premium link toward the
+                # same next hop.
+                decision = ForwardDecision(entry.next_hop, LinkType.PREMIUM,
+                                           True)
+            if _TEL.enabled:
+                _TEL.counter("forward.decisions").inc()
+                if stream_id not in self._on_backup:
+                    self._on_backup.add(stream_id)
+                    _TEL.counter("reaction.failovers").inc()
+                    _TEL.event("failover", t=now, region=self.region,
+                               gateway=self.gateway_id, stream=stream_id,
+                               degraded_next_hop=entry.next_hop,
+                               degraded_link=entry.link_type,
+                               backup_next_hop=decision.next_hop,
+                               planned=bool(relays))
+            return decision
+        if _TEL.enabled:
+            _TEL.counter("forward.decisions").inc()
+            if stream_id in self._on_backup:
+                self._on_backup.discard(stream_id)
+                _TEL.counter("reaction.failbacks").inc()
+                _TEL.event("failback", t=now, region=self.region,
+                           gateway=self.gateway_id, stream=stream_id,
+                           next_hop=entry.next_hop,
+                           link=entry.link_type)
         return ForwardDecision(entry.next_hop, entry.link_type, False)
 
     # ------------------------------------------------------------------ cost

@@ -11,12 +11,17 @@ O(N(N-1)R) probe streams.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.controlplane.nib import LinkReport
+from repro.obs import telemetry as _telemetry
+from repro.obs.metrics import HotCounters
 from repro.underlay.linkstate import LinkType
+
+_TEL = _telemetry()
+_AGG_COUNTERS = HotCounters("grouping.aggregations")
 
 
 def probing_cost(n_regions: int, gateways_per_region: int,
@@ -42,6 +47,8 @@ class ProbingGroupManager:
             raise ValueError("need at least one representative")
         self.codes = list(codes)
         self.representatives = int(representatives)
+        #: Last election per region, for change-only trace events.
+        self._elected: Dict[str, Tuple[int, ...]] = {}
 
     def elect(self, region: str, gateway_ids: Sequence[int]) -> List[int]:
         """Choose R representatives among a region's gateways.
@@ -52,7 +59,14 @@ class ProbingGroupManager:
         """
         if not gateway_ids:
             raise ValueError(f"region {region} has no gateways")
-        return sorted(gateway_ids)[:self.representatives]
+        chosen = sorted(gateway_ids)[:self.representatives]
+        if _TEL.enabled and self._elected.get(region) != tuple(chosen):
+            self._elected[region] = tuple(chosen)
+            _TEL.counter("grouping.elections").inc()
+            _TEL.event("rep_election", region=region,
+                       representatives=chosen,
+                       gateways=len(gateway_ids))
+        return chosen
 
     def aggregate(self, src: str, dst: str, link_type: LinkType,
                   measurements: Sequence[Tuple[float, float]],
@@ -65,6 +79,8 @@ class ProbingGroupManager:
         """
         if not measurements:
             raise ValueError("no measurements to aggregate")
+        if _TEL.enabled:
+            _AGG_COUNTERS.fetch(_TEL.metrics)[0].inc()
         lat = float(np.median([m[0] for m in measurements]))
         loss = float(np.median([m[1] for m in measurements]))
         return LinkReport(src, dst, link_type, lat, min(max(loss, 0.0), 1.0),

@@ -12,7 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.obs import telemetry as _telemetry
 from repro.underlay.linkstate import LinkType
+
+_TEL = _telemetry()
 
 #: Aggregation key: (src region, dst region, link type).
 LinkId = Tuple[str, str, LinkType]
@@ -69,6 +72,11 @@ class PassiveTracker:
                            if window.latency_samples else 0.0)
                 samples.append(PassiveSample(link, now, latency, loss,
                                              window.packets_sent))
+        if _TEL.enabled:
+            _TEL.counter("passive.flushes").inc()
+            _TEL.counter("passive.samples").inc(len(samples))
+            _TEL.counter("passive.packets").inc(
+                sum(s.packets for s in samples))
         self._windows.clear()
         return samples
 

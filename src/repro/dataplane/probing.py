@@ -19,8 +19,14 @@ from typing import Tuple
 import numpy as np
 
 from repro.dataplane.config import MonitoringConfig
+from repro.obs import telemetry as _telemetry
+from repro.obs.metrics import HotCounters
 from repro.sim.rng import hash_uniform
 from repro.underlay.linkstate import LinkProcess
+
+_TEL = _telemetry()
+_BURST_COUNTERS = HotCounters("probing.bursts", "probing.bytes",
+                              "probing.lost_packets")
 
 
 @dataclass(frozen=True)
@@ -68,6 +74,12 @@ class ActiveProber:
         self.bursts_sent += 1
         self.bytes_sent += (self.config.packets_per_burst
                             * self.config.packet_bytes)
+        if _TEL.enabled:
+            bursts, nbytes, lost_packets = _BURST_COUNTERS.fetch(_TEL.metrics)
+            bursts.inc()
+            nbytes.inc(self.config.packets_per_burst
+                       * self.config.packet_bytes)
+            lost_packets.inc(lost)
         return ProbeBurst(now, measured, self.config.packets_per_burst, lost)
 
 

@@ -26,6 +26,9 @@ import numpy as np
 
 from repro.controlplane.prediction import RollingPredictor
 from repro.elastic.containers import ContainerPool
+from repro.obs import telemetry as _telemetry
+
+_TEL = _telemetry()
 
 
 class Autoscaler(Protocol):
@@ -39,6 +42,54 @@ class Autoscaler(Protocol):
 def _containers_for(demand_mbps: float, container_capacity_mbps: float,
                     headroom: float) -> int:
     return max(1, math.ceil(demand_mbps * headroom / container_capacity_mbps))
+
+
+#: After this many traced target changes from one autoscaler instance,
+#: only every `_EVENT_SAMPLE_EVERY`-th further change is recorded as an
+#: event (`autoscale.events_suppressed` counts the rest; the
+#: decision/change counters stay exact).  Long policy sweeps (fig20
+#: evaluates ~90k decisions) otherwise flood the trace with flapping
+#: targets, and the event volume — not the guards — is what dominates
+#: telemetry overhead.
+_EVENT_FLOOD_LIMIT = 256
+_EVENT_SAMPLE_EVERY = 32
+
+
+class _DecisionCounters:
+    """Cached handles for the per-decide counters, plus the flood gate.
+
+    `decide` runs tens of thousands of times per experiment; re-resolving
+    counters by name each call costs more than the increment itself, so
+    the handles are cached per autoscaler and re-fetched only when the
+    registry's `generation` says it was reset underneath us.
+    """
+
+    __slots__ = ("_generation", "_changes_seen", "decisions", "changes",
+                 "suppressed")
+
+    def __init__(self):
+        self._generation = -1
+        self._changes_seen = 0
+
+    def fetch(self):
+        registry = _TEL.metrics
+        if registry.generation != self._generation:
+            self._generation = registry.generation
+            self.decisions = registry.counter("autoscale.decisions")
+            self.changes = registry.counter("autoscale.target_changes")
+            self.suppressed = registry.counter(
+                "autoscale.events_suppressed")
+        return self
+
+    def emit_change(self):
+        """Count one target change; True if its event should be traced."""
+        self.changes.inc()
+        self._changes_seen += 1
+        if (self._changes_seen <= _EVENT_FLOOD_LIMIT
+                or self._changes_seen % _EVENT_SAMPLE_EVERY == 0):
+            return True
+        self.suppressed.inc()
+        return False
 
 
 class ReactiveAutoscaler:
@@ -72,6 +123,7 @@ class ReactiveAutoscaler:
         self.metric_delay_slots = metric_delay_slots
         self._history: List[float] = []
         self._target = 1
+        self._counters = _DecisionCounters()
 
     def decide(self, slot: int, observed_demand_mbps: float) -> int:
         self._history.append(observed_demand_mbps)
@@ -80,11 +132,20 @@ class ReactiveAutoscaler:
         del self._history[:idx]
         capacity = self._target * self.container_capacity_mbps
         utilisation = seen / capacity if capacity > 0 else 1.0
+        previous = self._target
         if utilisation > self.high:
             self._target = max(self._target + 1,
                                math.ceil(self._target * self.up))
         elif utilisation < self.low:
             self._target = max(1, math.floor(self._target * self.down))
+        if _TEL.enabled:
+            counters = self._counters.fetch()
+            counters.decisions.inc()
+            if self._target != previous and counters.emit_change():
+                _TEL.event("autoscale", policy="reactive", slot=slot,
+                           observed_mbps=round(observed_demand_mbps, 3),
+                           utilisation=round(utilisation, 4),
+                           previous_target=previous, target=self._target)
         return self._target
 
 
@@ -124,12 +185,24 @@ class ProactiveAutoscaler:
         self.horizon_slots = horizon_slots
         self.predictor = RollingPredictor(n_harmonics, history_slots,
                                           refit_every, min_history)
+        self._last_target = 0
+        self._counters = _DecisionCounters()
 
     def decide(self, slot: int, observed_demand_mbps: float) -> int:
         self.predictor.observe(observed_demand_mbps)
         predicted = self.predictor.predict_next(self.horizon_slots)
-        return _containers_for(predicted, self.container_capacity_mbps,
-                               self.headroom)
+        target = _containers_for(predicted, self.container_capacity_mbps,
+                                 self.headroom)
+        if _TEL.enabled:
+            counters = self._counters.fetch()
+            counters.decisions.inc()
+            if target != self._last_target and counters.emit_change():
+                _TEL.event("autoscale", policy="proactive", slot=slot,
+                           observed_mbps=round(observed_demand_mbps, 3),
+                           predicted_mbps=round(predicted, 3),
+                           previous_target=self._last_target, target=target)
+        self._last_target = target
+        return target
 
 
 class FixedAllocation:

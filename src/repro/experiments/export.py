@@ -20,7 +20,7 @@ import json
 import platform
 from functools import singledispatch
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -55,13 +55,20 @@ MANIFEST_SCHEMA = 1
 
 def write_manifest(records: Sequence, path, *, suite: str = "quick",
                    mode: str = "sequential", workers: int = 1,
-                   total_wall_s: float = 0.0) -> Path:
+                   total_wall_s: float = 0.0,
+                   rollup: Optional[Dict] = None,
+                   telemetry_path: Optional[str] = None) -> Path:
     """Write the structured JSON manifest for one orchestrated run.
 
     ``records`` is a sequence of ``orchestrator.RunRecord``-shaped
     objects (anything with ``status`` and ``to_json()``).  The document
     is deterministic apart from measured timings: keys are sorted and
     experiments keep registry order, so two manifests diff cleanly.
+
+    ``rollup`` (a ``repro.obs`` metrics snapshot aggregated over the
+    suite, see ``orchestrator.rollup_records``) and ``telemetry_path``
+    (where the run's telemetry JSONL went) are additive keys — schema 1
+    consumers that ignore unknown keys keep working.
     """
     statuses = [r.status for r in records]
     payload = {
@@ -75,6 +82,10 @@ def write_manifest(records: Sequence, path, *, suite: str = "quick",
                    for status in sorted(set(statuses))},
         "experiments": [r.to_json() for r in records],
     }
+    if rollup is not None:
+        payload["rollup"] = rollup
+    if telemetry_path is not None:
+        payload["telemetry"] = str(telemetry_path)
     path = Path(path)
     if path.parent != Path(""):
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -37,7 +37,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.experiments import registry
+from repro.obs.metrics import MetricsRegistry
 
 STATUS_OK = "ok"
 STATUS_FAILED = "failed"
@@ -69,13 +71,18 @@ class RunRecord:
     retries: int = 0
     tags: List[str] = field(default_factory=list)
     transient: bool = False
+    #: Metric snapshot captured around the experiment (telemetry runs).
+    metrics: Optional[Dict[str, object]] = None
+    #: Trace events (JSON-ready dicts).  Deliberately kept OUT of the
+    #: manifest (`to_json`) — they go to the telemetry JSONL instead.
+    events: Optional[List[Dict[str, object]]] = None
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
 
     def to_json(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "name": self.name,
             "status": self.status,
             "wall_s": round(self.wall_s, 3),
@@ -85,6 +92,9 @@ class RunRecord:
             "lines": list(self.lines),
             "traceback": self.traceback,
         }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return payload
 
 
 @contextmanager
@@ -116,25 +126,42 @@ def _deadline(timeout_s: Optional[float]):
 
 
 def execute_one(name: str, full: bool = False,
-                timeout_s: Optional[float] = None) -> RunRecord:
+                timeout_s: Optional[float] = None,
+                telemetry: bool = False) -> RunRecord:
     """Run one registered experiment under seed + deadline control.
 
     This is the single execution core: the sequential runner calls it
     in-process, the parallel path submits it to pool workers.  It never
     raises for experiment failures — the outcome (including a full
     traceback) is encoded in the returned record.
+
+    With ``telemetry=True`` the experiment runs inside a fresh capture
+    window of the global telemetry hub; the record then carries the
+    experiment's metric snapshot and trace events.  Instrumentation
+    consumes no randomness, so output lines stay byte-identical either
+    way.
     """
     spec = registry.get(name)
     seed = spec.resolved_seed()
     random.seed(seed)
     np.random.seed(seed)
     t0 = time.perf_counter()
+    events: Optional[List[Dict[str, object]]] = None
+    metrics: Optional[Dict[str, object]] = None
     try:
-        with _deadline(timeout_s):
-            lines = spec.execute(full)
+        if telemetry:
+            with obs.capture() as hub:
+                with _deadline(timeout_s):
+                    lines = spec.execute(full)
+                events = hub.events_json()
+                metrics = hub.metrics.snapshot()
+        else:
+            with _deadline(timeout_s):
+                lines = spec.execute(full)
         return RunRecord(name=name, status=STATUS_OK,
                          wall_s=time.perf_counter() - t0, seed=seed,
-                         lines=lines, tags=list(spec.tags))
+                         lines=lines, tags=list(spec.tags),
+                         metrics=metrics, events=events)
     except ExperimentTimeout:
         return RunRecord(name=name, status=STATUS_TIMEOUT,
                          wall_s=time.perf_counter() - t0, seed=seed,
@@ -150,12 +177,13 @@ def execute_one(name: str, full: bool = False,
 
 def run_sequential(names: Sequence[str], *, full: bool = False,
                    timeout_s: Optional[float] = None,
+                   telemetry: bool = False,
                    on_record: Optional[Callable[[RunRecord], None]] = None,
                    ) -> List[RunRecord]:
     """Run experiments one by one in this process, in the given order."""
     records = []
     for name in names:
-        record = execute_one(name, full, timeout_s)
+        record = execute_one(name, full, timeout_s, telemetry)
         records.append(record)
         if on_record is not None:
             on_record(record)
@@ -185,7 +213,7 @@ def _pool_failure_record(name: str, exc: BaseException) -> RunRecord:
 
 def run_parallel(names: Sequence[str], *, full: bool = False,
                  workers: int = 4, timeout_s: Optional[float] = None,
-                 retries: int = 1,
+                 retries: int = 1, telemetry: bool = False,
                  on_record: Optional[Callable[[RunRecord], None]] = None,
                  ) -> List[RunRecord]:
     """Fan experiments out across a process pool; return records in
@@ -211,7 +239,8 @@ def run_parallel(names: Sequence[str], *, full: bool = False,
         next_round: List[str] = []
         with ProcessPoolExecutor(max_workers=min(workers, len(pending)),
                                  mp_context=_pool_context()) as pool:
-            futures = {pool.submit(execute_one, name, full, timeout_s): name
+            futures = {pool.submit(execute_one, name, full, timeout_s,
+                                   telemetry): name
                        for name in pending}
             not_done = set(futures)
             while not_done:
@@ -232,7 +261,8 @@ def run_parallel(names: Sequence[str], *, full: bool = False,
                         if not pool_broken:
                             try:
                                 retry = pool.submit(execute_one, name,
-                                                    full, timeout_s)
+                                                    full, timeout_s,
+                                                    telemetry)
                                 futures[retry] = name
                                 not_done.add(retry)
                                 continue
@@ -252,12 +282,35 @@ def run_parallel(names: Sequence[str], *, full: bool = False,
 
 def run(names: Sequence[str], *, full: bool = False, parallel: int = 0,
         timeout_s: Optional[float] = None, retries: int = 1,
+        telemetry: bool = False,
         on_record: Optional[Callable[[RunRecord], None]] = None,
         ) -> List[RunRecord]:
     """Dispatch to the sequential or parallel path on ``parallel``."""
     if parallel and parallel > 1:
         return run_parallel(names, full=full, workers=parallel,
                             timeout_s=timeout_s, retries=retries,
-                            on_record=on_record)
+                            telemetry=telemetry, on_record=on_record)
     return run_sequential(names, full=full, timeout_s=timeout_s,
-                          on_record=on_record)
+                          telemetry=telemetry, on_record=on_record)
+
+
+def rollup_records(records: Sequence[RunRecord],
+                   registry_: Optional[MetricsRegistry] = None
+                   ) -> Dict[str, object]:
+    """Aggregate a suite's records through a metrics registry.
+
+    Produces the manifest's suite-level rollup: experiment counts by
+    status, total retries, and a wall-clock histogram — all expressed as
+    ordinary `repro.obs` metrics so the manifest and the telemetry file
+    speak the same schema.
+    """
+    reg = registry_ if registry_ is not None else MetricsRegistry()
+    wall = reg.histogram(
+        "orchestrator.experiment_wall_s",
+        buckets=(0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0))
+    for record in records:
+        reg.counter("orchestrator.experiments").inc()
+        reg.counter(f"orchestrator.status.{record.status}").inc()
+        reg.counter("orchestrator.retries").inc(record.retries)
+        wall.observe(record.wall_s)
+    return reg.snapshot()

@@ -76,6 +76,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "experiment (parallel mode; default 1)")
     parser.add_argument("--manifest", default=None, metavar="PATH",
                         help="write a structured JSON run manifest")
+    parser.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="capture metrics + trace events per "
+                             "experiment and write a merged telemetry "
+                             "JSONL (see docs/observability.md)")
     args = parser.parse_args(argv)
 
     specs = registry.select(only=args.only, tags=args.tags)
@@ -101,14 +105,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         records = orchestrator.run_parallel(
             names, full=args.full, workers=args.parallel,
             timeout_s=args.timeout, retries=args.retries,
-            on_record=_progress)
+            telemetry=bool(args.telemetry), on_record=_progress)
         for record in records:
             _print_record(record)
     else:
         records = orchestrator.run_sequential(
             names, full=args.full, timeout_s=args.timeout,
-            on_record=_print_record)
+            telemetry=bool(args.telemetry), on_record=_print_record)
     total_wall_s = time.perf_counter() - t0
+
+    if args.telemetry:
+        from repro.obs.export import write_merged_jsonl
+        runs = [{"exp": r.name, "events": r.events or [],
+                 "metrics": r.metrics or {}}
+                for r in records]
+        tel_path = write_merged_jsonl(
+            args.telemetry, runs,
+            meta={"suite": "full" if args.full else "quick"})
+        print(f"telemetry: {tel_path}", file=sys.stderr)
 
     if args.manifest:
         path = write_manifest(
@@ -116,7 +130,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             suite="full" if args.full else "quick",
             mode="parallel" if args.parallel > 1 else "sequential",
             workers=args.parallel if args.parallel > 1 else 1,
-            total_wall_s=total_wall_s)
+            total_wall_s=total_wall_s,
+            rollup=orchestrator.rollup_records(records),
+            telemetry_path=args.telemetry)
         print(f"manifest: {path}", file=sys.stderr)
 
     failures = [r for r in records if not r.ok]

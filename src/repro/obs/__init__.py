@@ -1,0 +1,140 @@
+"""`repro.obs` — the unified telemetry subsystem.
+
+One facade object (`Telemetry`) bundles the two collection surfaces:
+
+* a `MetricsRegistry` (counters / gauges / fixed-bucket histograms) for
+  rates and totals the hot loops update;
+* a `Tracer` for structured *decision events* — probe rounds, path
+  picks, premium failovers, controller epochs, autoscale steps — the
+  moments the paper's evaluation watches.
+
+Telemetry is **off by default** and costs one attribute check per
+instrumented site while off: call sites hold the process-wide hub
+(`telemetry()`) and guard with ``if tel.enabled:``.  While disabled the
+hub also hands out shared null metric objects, so unguarded
+``tel.counter(...).inc()`` is a no-op rather than an accumulation.
+
+The hub is a mutate-in-place singleton: `enable()` / `disable()` /
+`reset()` flip or clear the one instance rather than swapping it, so
+handles cached at import or construction time never go stale — which is
+what makes per-call ``telemetry()`` lookups unnecessary in hot loops.
+Worker processes (the experiment orchestrator) use `capture()` to run
+one experiment under a fresh enabled hub and harvest its events and
+metric snapshot afterwards.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    result = system.run(variant=xron(), start_hour=9.0, hours=1.0)
+    tel = obs.telemetry()
+    obs_export.write_jsonl("telemetry.jsonl", tel.events_json(),
+                           metrics=tel.metrics.snapshot())
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.obs.metrics import (NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM,
+                               Counter, Gauge, Histogram, MetricsRegistry)
+from repro.obs.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Telemetry", "telemetry", "enable", "disable", "reset", "capture",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "Tracer", "TraceEvent",
+]
+
+_NULL_SPAN = nullcontext()
+
+
+class Telemetry:
+    """Metrics registry + decision tracer behind one enable switch."""
+
+    def __init__(self, enabled: bool = False,
+                 max_events: int = 200_000):
+        self.enabled = bool(enabled)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(max_events=max_events)
+
+    # ------------------------------------------------------------- metrics
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name) if self.enabled else NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name) if self.enabled else NULL_GAUGE
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        return self.metrics.histogram(name, buckets)
+
+    # -------------------------------------------------------------- tracing
+    def event(self, kind: str, t: Optional[float] = None,
+              **fields: Any) -> None:
+        if self.enabled:
+            self.tracer.record_dict(kind, t, fields)
+
+    def span(self, kind: str, t: Optional[float] = None, **fields: Any):
+        """Context manager timing a block into an event (no-op when off)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return self.tracer.span(kind, t, **fields)
+
+    def events_json(self) -> List[Dict[str, Any]]:
+        return self.tracer.to_json()
+
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> None:
+        """Clear collected state (keeps the enabled flag)."""
+        self.metrics.reset()
+        self.tracer.reset()
+
+
+#: The process-wide hub.  Mutated in place, never replaced.
+_HUB = Telemetry()
+
+
+def telemetry() -> Telemetry:
+    """The process-wide telemetry hub (stable object identity)."""
+    return _HUB
+
+
+def enable() -> Telemetry:
+    """Turn collection on; returns the hub for convenience."""
+    _HUB.enabled = True
+    return _HUB
+
+
+def disable() -> Telemetry:
+    _HUB.enabled = False
+    return _HUB
+
+
+def reset() -> Telemetry:
+    """Drop all collected metrics and events (flag untouched)."""
+    _HUB.reset()
+    return _HUB
+
+
+@contextmanager
+def capture() -> Iterator[Telemetry]:
+    """Run a block under a fresh, enabled hub; restore state afterwards.
+
+    Snapshot what you need from the yielded hub *inside* the block (or
+    before the next `capture`) — on exit the previous enabled flag is
+    restored but the collected data stays on the hub until the next
+    `reset`/`capture`, so the orchestrator can harvest it right after
+    the block.
+    """
+    was_enabled = _HUB.enabled
+    _HUB.reset()
+    _HUB.enabled = True
+    try:
+        yield _HUB
+    finally:
+        _HUB.enabled = was_enabled

@@ -1,0 +1,159 @@
+"""JSONL run-telemetry files.
+
+One telemetry file holds one run (or one orchestrated suite).  The
+format is line-delimited JSON so files stream, append, and `grep`
+cleanly:
+
+* line 1 — a ``header`` record: schema version plus free-form metadata
+  (command, suite, seed, ...);
+* then one ``event`` record per trace event, in emission order.  Events
+  from an orchestrated suite carry an extra ``exp`` field naming the
+  experiment that emitted them;
+* one ``metrics`` record per captured registry snapshot (a plain run
+  writes exactly one, an orchestrated suite writes one per experiment,
+  tagged with ``exp``).
+
+`read_jsonl` is the strict counterpart: it validates the header and
+record envelopes and returns a `TelemetryFile`, which the summary
+aggregator and the ``repro obs`` CLI consume.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+#: Bump when the JSONL layout changes incompatibly.
+TELEMETRY_SCHEMA = 1
+
+
+class TelemetryFormatError(ValueError):
+    """A telemetry file violated the JSONL schema."""
+
+
+@dataclass
+class TelemetryFile:
+    """Parsed contents of one telemetry JSONL file."""
+
+    header: Dict[str, Any]
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    #: One snapshot per captured registry, in file order.
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
+
+    def kinds(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            kind = event.get("kind", "?")
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def events_of(self, kind: str) -> List[Dict[str, Any]]:
+        return [e for e in self.events if e.get("kind") == kind]
+
+
+def write_jsonl(path: Union[str, Path],
+                events: Iterable[Dict[str, Any]],
+                metrics: Optional[Dict[str, Any]] = None,
+                meta: Optional[Dict[str, Any]] = None) -> Path:
+    """Write one run's telemetry (header, events, one metrics record)."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        _write_header(fh, meta)
+        for event in events:
+            _write_record(fh, "event", event)
+        if metrics is not None:
+            _write_record(fh, "metrics", {"metrics": metrics})
+    return path
+
+
+def write_merged_jsonl(path: Union[str, Path],
+                       runs: Iterable[Dict[str, Any]],
+                       meta: Optional[Dict[str, Any]] = None) -> Path:
+    """Write an orchestrated suite's telemetry.
+
+    ``runs`` is an iterable of ``{"exp": name, "events": [...],
+    "metrics": {...}}`` documents (the per-experiment captures the
+    orchestrator collected); every emitted record is tagged with its
+    experiment name.
+    """
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        _write_header(fh, meta)
+        for run in runs:
+            exp = run.get("exp")
+            for event in run.get("events") or []:
+                _write_record(fh, "event", dict(event, exp=exp))
+            metrics = run.get("metrics")
+            if metrics is not None:
+                _write_record(fh, "metrics",
+                              {"exp": exp, "metrics": metrics})
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> TelemetryFile:
+    """Parse and validate a telemetry file written by this module."""
+    path = Path(path)
+    doc: Optional[TelemetryFile] = None
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryFormatError(
+                    f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            if not isinstance(record, dict) or "record" not in record:
+                raise TelemetryFormatError(
+                    f"{path}:{lineno}: not a telemetry record envelope")
+            rtype = record["record"]
+            if doc is None:
+                if rtype != "header":
+                    raise TelemetryFormatError(
+                        f"{path}: first record must be a header, "
+                        f"got {rtype!r}")
+                if record.get("schema") != TELEMETRY_SCHEMA:
+                    raise TelemetryFormatError(
+                        f"{path}: unsupported telemetry schema "
+                        f"{record.get('schema')!r} (expected "
+                        f"{TELEMETRY_SCHEMA})")
+                doc = TelemetryFile(header=record)
+            elif rtype == "event":
+                if "kind" not in record:
+                    raise TelemetryFormatError(
+                        f"{path}:{lineno}: event record without a kind")
+                doc.events.append(record)
+            elif rtype == "metrics":
+                doc.metrics.append(record)
+            elif rtype == "header":
+                raise TelemetryFormatError(
+                    f"{path}:{lineno}: duplicate header record")
+            else:
+                raise TelemetryFormatError(
+                    f"{path}:{lineno}: unknown record type {rtype!r}")
+    if doc is None:
+        raise TelemetryFormatError(f"{path}: empty telemetry file")
+    return doc
+
+
+def _write_header(fh, meta: Optional[Dict[str, Any]]) -> None:
+    header: Dict[str, Any] = {"record": "header",
+                              "schema": TELEMETRY_SCHEMA}
+    if meta:
+        header.update(meta)
+    json.dump(header, fh, sort_keys=True)
+    fh.write("\n")
+
+
+def _write_record(fh, rtype: str, body: Dict[str, Any]) -> None:
+    record = dict(body)
+    record["record"] = rtype
+    json.dump(record, fh, sort_keys=True)
+    fh.write("\n")

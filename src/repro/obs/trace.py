@@ -1,0 +1,137 @@
+"""Decision tracing: structured events for the moments the paper
+evaluates.
+
+A `TraceEvent` is one decision or observation — a probe round, a
+forwarding failover, a controller epoch, an autoscale step — stamped
+with *simulated* time (`t`, seconds since the scenario's origin) so
+traces line up with the simulators' clocks regardless of wall speed.
+Wall-clock only enters through `Tracer.span`, which times a code block
+(Algorithm 1/2 steps) and records the duration as a field.
+
+The buffer is bounded: once `max_events` is reached further events are
+counted in `dropped` instead of stored, so a runaway experiment cannot
+eat the host's memory through its own instrumentation.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Canonical event kinds emitted by the built-in instrumentation; the
+#: tracer accepts any string, this is the documented catalog.
+KINDS = (
+    "probe_round",        # one group-probing round of a region cluster
+    "rep_election",       # probing-group representative set changed
+    "path_decision",      # representative path (re)selected for a pair
+    "failover",           # traffic switched to a premium backup path
+    "failback",           # traffic returned to its normal path
+    "control_epoch",      # one full controller computation
+    "algo_step",          # a timed step inside the control loop
+    "autoscale",          # a capacity decision (predicted vs actual)
+    "controller_outage",  # an epoch skipped because the controller is down
+)
+
+
+class TraceEvent:
+    """One structured decision record.
+
+    A plain ``__slots__`` class rather than a dataclass: tracers create
+    tens of thousands of these inside instrumented hot loops, and the
+    cheap ``__init__`` is a measurable part of the telemetry overhead
+    budget.
+    """
+
+    __slots__ = ("kind", "t", "seq", "fields")
+
+    def __init__(self, kind: str, t: Optional[float], seq: int,
+                 fields: Optional[Dict[str, Any]] = None):
+        self.kind = kind
+        self.t = t                  #: simulated time, seconds (None = n/a)
+        self.seq = seq              #: emission order, unique per tracer
+        self.fields = {} if fields is None else fields
+
+    def __repr__(self) -> str:
+        return (f"TraceEvent(kind={self.kind!r}, t={self.t!r}, "
+                f"seq={self.seq!r}, fields={self.fields!r})")
+
+    def to_json(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"kind": self.kind, "seq": self.seq}
+        if self.t is not None:
+            doc["t"] = round(float(self.t), 6)
+        for key, value in self.fields.items():
+            doc[key] = _jsonable(value)
+        return doc
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a field value to something `json.dump` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if hasattr(value, "value"):        # enums (LinkType) -> their value
+        return _jsonable(value.value)
+    if hasattr(value, "item"):         # numpy scalars
+        return value.item()
+    return str(value)
+
+
+class Tracer:
+    """Bounded in-memory event collector."""
+
+    def __init__(self, max_events: int = 200_000):
+        if max_events < 1:
+            raise ValueError("max_events must be positive")
+        self.max_events = int(max_events)
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def record(self, kind: str, t: Optional[float] = None,
+               **fields: Any) -> None:
+        """Append one event (drops, counting, once the buffer is full)."""
+        self.record_dict(kind, t, fields)
+
+    def record_dict(self, kind: str, t: Optional[float],
+                    fields: Dict[str, Any]) -> None:
+        """`record` taking the fields dict directly — the hot-path entry
+        (skips a kwargs unpack/repack; the caller hands over ownership
+        of `fields`)."""
+        self._seq += 1
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(kind, t, self._seq, fields))
+
+    @contextmanager
+    def span(self, kind: str, t: Optional[float] = None,
+             **fields: Any) -> Iterator[None]:
+        """Time a code block; records `kind` with a `duration_ms` field."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration_ms = (time.perf_counter() - t0) * 1e3
+            self.record(kind, t, duration_ms=round(duration_ms, 3),
+                        **fields)
+
+    def by_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def kinds(self) -> List[str]:
+        return sorted({e.kind for e in self.events})
+
+    def to_json(self) -> List[Dict[str, Any]]:
+        return [e.to_json() for e in self.events]
+
+    def reset(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+        self._seq = 0

@@ -161,3 +161,47 @@ class TestEvaluateAutoscaler:
         with pytest.raises(ValueError):
             evaluate_autoscaler(TrackingAutoscaler(1000.0), [1.0], 1000.0,
                                 pool)
+
+
+class TestDecisionTelemetry:
+    """Autoscaler instrumentation: exact counters, flood-limited events."""
+
+    @pytest.fixture(autouse=True)
+    def clean_hub(self):
+        from repro import obs
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def _flap(self, scaler, n):
+        # Alternate demand so the reactive target changes every slot.
+        for slot in range(n):
+            scaler.decide(slot, 5000.0 if slot % 2 == 0 else 100.0)
+
+    def test_counters_stay_exact_under_flood_limit(self):
+        from repro import obs
+        from repro.elastic.autoscaler import (_EVENT_FLOOD_LIMIT,
+                                              _EVENT_SAMPLE_EVERY)
+        tel = obs.enable()
+        scaler = ReactiveAutoscaler(1000.0, metric_delay_slots=0)
+        n = 4000
+        self._flap(scaler, n)
+        snap = tel.metrics.snapshot()
+        changes = snap["autoscale.target_changes"]["value"]
+        suppressed = snap["autoscale.events_suppressed"]["value"]
+        events = len(tel.tracer.by_kind("autoscale"))
+        assert snap["autoscale.decisions"]["value"] == n
+        assert changes > _EVENT_FLOOD_LIMIT  # the gate actually engaged
+        assert suppressed > 0
+        assert events + suppressed == changes
+        assert events <= _EVENT_FLOOD_LIMIT + changes / _EVENT_SAMPLE_EVERY
+
+    def test_no_events_or_counts_while_disabled(self):
+        from repro import obs
+        tel = obs.telemetry()
+        scaler = ReactiveAutoscaler(1000.0, metric_delay_slots=0)
+        self._flap(scaler, 100)
+        assert not tel.tracer.events
+        assert "autoscale.decisions" not in tel.metrics.snapshot()

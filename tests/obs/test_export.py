@@ -1,0 +1,106 @@
+"""Telemetry JSONL writing and strict reading."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (TELEMETRY_SCHEMA, TelemetryFormatError,
+                              read_jsonl, write_jsonl, write_merged_jsonl)
+
+EVENTS = [
+    {"kind": "probe_round", "seq": 1, "t": 0.0, "region": "FRA"},
+    {"kind": "failover", "seq": 2, "t": 31.0, "stream": 4},
+]
+METRICS = {"probing.bursts": {"kind": "counter", "value": 120.0}}
+
+
+class TestRoundTrip:
+    def test_single_run(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, EVENTS, metrics=METRICS, meta={"command": "run"})
+        doc = read_jsonl(path)
+        assert doc.header["schema"] == TELEMETRY_SCHEMA
+        assert doc.header["command"] == "run"
+        assert doc.kinds() == {"probe_round": 1, "failover": 1}
+        assert doc.events_of("failover")[0]["stream"] == 4
+        (metrics_rec,) = doc.metrics
+        assert metrics_rec["metrics"] == METRICS
+
+    def test_no_metrics_record_when_none(self, tmp_path):
+        path = write_jsonl(tmp_path / "run.jsonl", EVENTS)
+        assert read_jsonl(path).metrics == []
+
+    def test_merged_suite_tags_records_with_exp(self, tmp_path):
+        path = tmp_path / "suite.jsonl"
+        runs = [
+            {"exp": "fig20", "events": EVENTS[:1], "metrics": METRICS},
+            {"exp": "fig16", "events": EVENTS[1:], "metrics": {}},
+        ]
+        write_merged_jsonl(path, runs, meta={"suite": "quick"})
+        doc = read_jsonl(path)
+        assert doc.header["suite"] == "quick"
+        assert [e["exp"] for e in doc.events] == ["fig20", "fig16"]
+        assert [m["exp"] for m in doc.metrics] == ["fig20", "fig16"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_jsonl(tmp_path / "deep" / "run.jsonl", [])
+        assert path.exists()
+
+
+class TestStrictReader:
+    def _lines(self, tmp_path, *lines):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("".join(line + "\n" for line in lines))
+        return path
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = self._lines(tmp_path)
+        with pytest.raises(TelemetryFormatError, match="empty"):
+            read_jsonl(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = self._lines(
+            tmp_path, json.dumps({"record": "event", "kind": "x"}))
+        with pytest.raises(TelemetryFormatError, match="header"):
+            read_jsonl(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = self._lines(
+            tmp_path, json.dumps({"record": "header", "schema": 999}))
+        with pytest.raises(TelemetryFormatError, match="schema"):
+            read_jsonl(path)
+
+    def test_duplicate_header_rejected(self, tmp_path):
+        header = json.dumps({"record": "header",
+                             "schema": TELEMETRY_SCHEMA})
+        path = self._lines(tmp_path, header, header)
+        with pytest.raises(TelemetryFormatError, match="duplicate"):
+            read_jsonl(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = self._lines(tmp_path, "{not json")
+        with pytest.raises(TelemetryFormatError, match="invalid JSON"):
+            read_jsonl(path)
+
+    def test_event_without_kind_rejected(self, tmp_path):
+        header = json.dumps({"record": "header",
+                             "schema": TELEMETRY_SCHEMA})
+        path = self._lines(tmp_path, header,
+                           json.dumps({"record": "event"}))
+        with pytest.raises(TelemetryFormatError, match="kind"):
+            read_jsonl(path)
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        header = json.dumps({"record": "header",
+                             "schema": TELEMETRY_SCHEMA})
+        path = self._lines(tmp_path, header,
+                           json.dumps({"record": "mystery"}))
+        with pytest.raises(TelemetryFormatError, match="unknown"):
+            read_jsonl(path)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        header = json.dumps({"record": "header",
+                             "schema": TELEMETRY_SCHEMA})
+        path = self._lines(tmp_path, header, "",
+                           json.dumps({"record": "event", "kind": "x"}))
+        assert len(read_jsonl(path).events) == 1

@@ -1,0 +1,121 @@
+"""Summary aggregation and the ``repro obs`` CLI."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.export import TELEMETRY_SCHEMA, TelemetryFile, write_jsonl
+from repro.obs.summary import render, summarize
+
+HEADER = {"record": "header", "schema": TELEMETRY_SCHEMA, "suite": "quick"}
+
+
+def _doc(events=(), metrics=()):
+    return TelemetryFile(header=dict(HEADER), events=list(events),
+                         metrics=list(metrics))
+
+
+class TestSummarize:
+    def test_counts_kinds_and_time_ranges(self):
+        doc = _doc(events=[
+            {"record": "event", "kind": "probe_round", "t": 10.0},
+            {"record": "event", "kind": "probe_round", "t": 50.0},
+            {"record": "event", "kind": "rep_election"},
+        ])
+        s = summarize(doc)
+        assert s.total_events == 3
+        assert s.kind_counts == {"probe_round": 2, "rep_election": 1}
+        assert s.kind_time_range["probe_round"] == [10.0, 50.0]
+        assert "rep_election" not in s.kind_time_range
+        assert not s.empty
+
+    def test_experiment_breakdown(self):
+        doc = _doc(events=[
+            {"record": "event", "kind": "failover", "exp": "fig16"},
+            {"record": "event", "kind": "failover", "exp": "fig16"},
+            {"record": "event", "kind": "autoscale", "exp": "fig20"},
+        ])
+        assert summarize(doc).exp_counts == {"fig16": 2, "fig20": 1}
+
+    def test_counters_sum_across_records(self):
+        doc = _doc(metrics=[
+            {"record": "metrics", "metrics": {
+                "a": {"kind": "counter", "value": 2.0}}},
+            {"record": "metrics", "metrics": {
+                "a": {"kind": "counter", "value": 3.0}}},
+        ])
+        assert summarize(doc).metrics["a"]["value"] == 5.0
+
+    def test_gauges_last_write_wins(self):
+        doc = _doc(metrics=[
+            {"record": "metrics", "metrics": {
+                "g": {"kind": "gauge", "value": 1.0}}},
+            {"record": "metrics", "metrics": {
+                "g": {"kind": "gauge", "value": 9.0}}},
+        ])
+        assert summarize(doc).metrics["g"]["value"] == 9.0
+
+    def test_histograms_merge_count_and_sum(self):
+        doc = _doc(metrics=[
+            {"record": "metrics", "metrics": {
+                "h": {"kind": "histogram", "count": 2, "sum": 4.0,
+                      "min": 1.0, "max": 3.0}}},
+            {"record": "metrics", "metrics": {
+                "h": {"kind": "histogram", "count": 1, "sum": 5.0,
+                      "min": 5.0, "max": 5.0}}},
+        ])
+        merged = summarize(doc).metrics["h"]
+        assert merged["count"] == 3
+        assert merged["sum"] == 9.0
+        assert merged["max"] == 5.0
+
+    def test_empty_doc(self):
+        assert summarize(_doc()).empty
+
+
+class TestRender:
+    def test_render_lists_kinds_by_count(self):
+        doc = _doc(events=[
+            {"record": "event", "kind": "probe_round", "t": 1.0},
+            {"record": "event", "kind": "probe_round", "t": 2.0},
+            {"record": "event", "kind": "failover", "t": 1.5},
+        ], metrics=[{"record": "metrics", "metrics": {
+            "c": {"kind": "counter", "value": 7.0}}}])
+        text = "\n".join(render(summarize(doc)))
+        assert "probe_round" in text
+        assert "failover" in text
+        assert text.index("probe_round") < text.index("failover")
+        assert "c" in text and "counter" in text
+
+    def test_metric_cap_is_reported(self):
+        doc = _doc(metrics=[{"record": "metrics", "metrics": {
+            f"m{i:02d}": {"kind": "counter", "value": 1.0}
+            for i in range(5)}}])
+        text = "\n".join(render(summarize(doc), max_metrics=2))
+        assert "first 2 shown" in text
+        assert "m04" not in text
+
+
+class TestCli:
+    def test_summary_renders_valid_file(self, tmp_path, capsys):
+        path = write_jsonl(
+            tmp_path / "t.jsonl",
+            [{"kind": "failover", "seq": 1, "t": 3.0}],
+            metrics={"c": {"kind": "counter", "value": 1.0}})
+        assert cli_main(["obs", "summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "failover" in out
+
+    def test_summary_rejects_missing_file(self, tmp_path, capsys):
+        assert cli_main(["obs", "summary",
+                         str(tmp_path / "absent.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_summary_rejects_invalid_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        assert cli_main(["obs", "summary", str(path)]) == 1
+
+    def test_summary_rejects_empty_telemetry(self, tmp_path, capsys):
+        path = write_jsonl(tmp_path / "empty.jsonl", [])
+        assert cli_main(["obs", "summary", str(path)]) == 1
+        assert "no events" in capsys.readouterr().err

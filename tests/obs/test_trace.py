@@ -1,0 +1,99 @@
+"""Tracer and TraceEvent semantics."""
+
+import enum
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.trace import KINDS, TraceEvent, Tracer
+
+
+class TestRecord:
+    def test_events_keep_order_and_sequence(self):
+        tr = Tracer()
+        tr.record("probe_round", t=1.0, region="FRA")
+        tr.record("failover", t=2.0, stream=7)
+        assert len(tr) == 2
+        assert [e.seq for e in tr.events] == [1, 2]
+        assert tr.events[0].fields["region"] == "FRA"
+
+    def test_by_kind_and_kinds(self):
+        tr = Tracer()
+        tr.record("failover")
+        tr.record("probe_round")
+        tr.record("failover")
+        assert len(tr.by_kind("failover")) == 2
+        assert tr.kinds() == ["failover", "probe_round"]
+
+    def test_bounded_buffer_counts_drops(self):
+        tr = Tracer(max_events=3)
+        for i in range(5):
+            tr.record("probe_round", i=i)
+        assert len(tr) == 3
+        assert tr.dropped == 2
+        # The sequence counter keeps advancing through drops.
+        assert tr._seq == 5
+
+    def test_reset(self):
+        tr = Tracer(max_events=1)
+        tr.record("a")
+        tr.record("b")
+        tr.reset()
+        assert len(tr) == 0 and tr.dropped == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
+
+class TestSpan:
+    def test_span_records_duration(self):
+        tr = Tracer()
+        with tr.span("algo_step", t=5.0, step="algo1"):
+            pass
+        (event,) = tr.events
+        assert event.kind == "algo_step"
+        assert event.fields["step"] == "algo1"
+        assert event.fields["duration_ms"] >= 0.0
+
+    def test_span_records_even_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("algo_step"):
+                raise RuntimeError("boom")
+        assert len(tr) == 1
+
+
+class TestJson:
+    def test_event_json_roundtrips(self):
+        e = TraceEvent("failover", 12.5, 1, {"stream": 3, "planned": True})
+        doc = json.loads(json.dumps(e.to_json()))
+        assert doc == {"kind": "failover", "seq": 1, "t": 12.5,
+                       "stream": 3, "planned": True}
+
+    def test_none_time_is_omitted(self):
+        doc = TraceEvent("autoscale", None, 1, {}).to_json()
+        assert "t" not in doc
+
+    def test_field_coercion(self):
+        class Tier(enum.Enum):
+            PREMIUM = "premium"
+
+        tr = Tracer()
+        tr.record("path_decision", t=np.float64(1.0),
+                  tier=Tier.PREMIUM, count=np.int64(3),
+                  hops=("FRA", "SIN"), extra=object())
+        doc = tr.to_json()[0]
+        json.dumps(doc)  # everything must be serialisable
+        assert doc["tier"] == "premium"
+        assert doc["count"] == 3
+        assert doc["hops"] == ["FRA", "SIN"]
+        assert isinstance(doc["extra"], str)
+
+    def test_catalog_covers_builtin_instrumentation(self):
+        # Sanity: the documented catalog holds the kinds this PR emits.
+        for kind in ("probe_round", "rep_election", "path_decision",
+                     "failover", "failback", "control_epoch", "algo_step",
+                     "autoscale", "controller_outage"):
+            assert kind in KINDS
