@@ -53,6 +53,29 @@ def test_path_control_paper_scale(benchmark, paper_scale):
     assert result.total_assigned_mbps() > 0
 
 
+def test_path_control_paper_scale_snapshot(benchmark, paper_scale):
+    """Same workload fed a prebuilt `LinkStateSnapshot` (the controller's
+    epoch path): no scalar link-state calls at all inside path_control."""
+    u, streams, __ = paper_scale
+    config = ControlConfig()
+    gateways = {c: 8 for c in u.codes}
+    snap = u.snapshot(8 * 3600.0)
+
+    result = benchmark(lambda: path_control(streams, u.codes, snap, config,
+                                            gateways=gateways,
+                                            fees=u.pricing))
+    assert benchmark.stats["mean"] < 2.0
+    assert result.total_assigned_mbps() > 0
+
+
+def test_underlay_snapshot_build(benchmark, paper_scale):
+    """Cost of one vectorised whole-underlay snapshot (per control epoch)."""
+    u, __, __ = paper_scale
+    u.link_param_arrays()  # warm the lazy parameter matrices
+    snap = benchmark(lambda: u.snapshot(8 * 3600.0))
+    assert np.isfinite(snap.lat).sum() > 0
+
+
 def test_full_two_step_control_paper_scale(benchmark, paper_scale):
     u, streams, state = paper_scale
     config = ControlConfig()

@@ -1,0 +1,164 @@
+"""Distill pytest-benchmark output and gate perf regressions.
+
+Two subcommands:
+
+``distill``
+    Reduce a raw ``--benchmark-json`` file to the small, reviewable
+    summary committed at the repo root (``BENCH_control.json``): mean /
+    stddev / rounds per benchmark plus a machine fingerprint.  Pass
+    ``--baseline`` to embed a second raw file as the frozen
+    pre-refactor reference.
+
+``check``
+    Compare a fresh raw benchmark run against the committed summary and
+    fail (exit 1) if any gated benchmark's mean regressed by more than
+    ``--max-regression`` (a fraction; CI uses 0.25).  Absolute numbers
+    differ across machines, so the gate is deliberately loose — it
+    exists to catch "someone re-introduced the 2·N² scalar loop", not
+    5% noise.
+
+Usage::
+
+    python -m pytest benchmarks/bench_scalability.py \
+        --benchmark-json=bench.json
+    python benchmarks/check_regression.py distill bench.json \
+        -o BENCH_control.json
+    python benchmarks/check_regression.py check bench.json \
+        --reference BENCH_control.json --max-regression 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict
+
+#: Benchmarks whose means the ``check`` subcommand gates.  New
+#: benchmarks start ungated until a reference lands in the summary.
+GATED = (
+    "test_path_control_paper_scale",
+    "test_path_control_paper_scale_snapshot",
+    "test_full_two_step_control_paper_scale",
+    "test_path_control_double_scale",
+)
+
+#: The paper's bound: the two-step control computation finishes in 2 s.
+PAPER_BOUND_S = 2.0
+
+
+def _load(path: str) -> Dict:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def summarise_raw(doc: Dict) -> Dict[str, Dict[str, float]]:
+    """name -> {mean_s, stddev_s, min_s, rounds} from pytest-benchmark."""
+    out: Dict[str, Dict[str, float]] = {}
+    for bench in doc.get("benchmarks", ()):
+        stats = bench["stats"]
+        out[bench["name"]] = {
+            "mean_s": round(stats["mean"], 6),
+            "stddev_s": round(stats["stddev"], 6),
+            "min_s": round(stats["min"], 6),
+            "rounds": stats["rounds"],
+        }
+    return out
+
+
+def machine_fingerprint(doc: Dict) -> Dict[str, str]:
+    info = doc.get("machine_info", {})
+    return {
+        "cpu": str(info.get("cpu", {}).get("brand_raw", "unknown")),
+        "python": str(info.get("python_version", "unknown")),
+        "system": str(info.get("system", "unknown")),
+    }
+
+
+def distill(args: argparse.Namespace) -> int:
+    raw = _load(args.raw)
+    summary = {
+        "schema": "xron-bench-control/1",
+        "note": ("Distilled from pytest-benchmark runs of "
+                 "benchmarks/bench_scalability.py; regenerate with "
+                 "benchmarks/check_regression.py distill. "
+                 "'baseline_pre_refactor' is the frozen scalar-loop "
+                 "control stack this PR replaced — keep it for the "
+                 "speedup provenance."),
+        "machine": machine_fingerprint(raw),
+        "current": summarise_raw(raw),
+    }
+    if args.baseline:
+        summary["baseline_pre_refactor"] = summarise_raw(_load(args.baseline))
+    elif args.keep_baseline_from:
+        prev = _load(args.keep_baseline_from)
+        if "baseline_pre_refactor" in prev:
+            summary["baseline_pre_refactor"] = prev["baseline_pre_refactor"]
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(summary, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(summary['current'])} benchmarks)")
+    return 0
+
+
+def check(args: argparse.Namespace) -> int:
+    reference = _load(args.reference)["current"]
+    fresh = summarise_raw(_load(args.raw))
+    failures = []
+    for name in GATED:
+        if name not in reference:
+            print(f"  - {name}: no committed reference, skipping")
+            continue
+        if name not in fresh:
+            failures.append(f"{name}: benchmark missing from this run")
+            continue
+        ref_mean = reference[name]["mean_s"]
+        got_mean = fresh[name]["mean_s"]
+        ratio = got_mean / ref_mean if ref_mean > 0 else float("inf")
+        status = "ok"
+        if got_mean > ref_mean * (1.0 + args.max_regression):
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: mean {got_mean * 1e3:.2f} ms vs reference "
+                f"{ref_mean * 1e3:.2f} ms ({ratio:.2f}x, gate "
+                f"{1.0 + args.max_regression:.2f}x)")
+        print(f"  - {name}: {got_mean * 1e3:.2f} ms "
+              f"(reference {ref_mean * 1e3:.2f} ms, {ratio:.2f}x) {status}")
+        if got_mean > PAPER_BOUND_S:
+            failures.append(f"{name}: mean {got_mean:.2f} s breaks the "
+                            f"paper's {PAPER_BOUND_S:.0f} s bound")
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  * {f}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_distill = sub.add_parser("distill", help="raw json -> summary json")
+    p_distill.add_argument("raw", help="pytest-benchmark --benchmark-json file")
+    p_distill.add_argument("-o", "--output", default="BENCH_control.json")
+    p_distill.add_argument("--baseline",
+                           help="raw json of the pre-refactor code to embed")
+    p_distill.add_argument("--keep-baseline-from",
+                           help="carry baseline_pre_refactor over from an "
+                                "existing summary file")
+    p_distill.set_defaults(func=distill)
+
+    p_check = sub.add_parser("check", help="gate a fresh run vs the summary")
+    p_check.add_argument("raw", help="pytest-benchmark --benchmark-json file")
+    p_check.add_argument("--reference", default="BENCH_control.json")
+    p_check.add_argument("--max-regression", type=float, default=0.25,
+                         help="allowed fractional mean increase (0.25 = 25%%)")
+    p_check.set_defaults(func=check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.controlplane.model import ControlConfig, LinkStateFn
+from repro.controlplane.model import ControlConfig, LinkState
 from repro.controlplane.pathcontrol import PathControlResult, path_control
 from repro.traffic.streams import Stream
 from repro.underlay.pricing import PricingModel
@@ -37,7 +37,7 @@ class CapacityDecision:
 
 
 def capacity_control(streams: List[Stream], codes: List[str],
-                     state: LinkStateFn, config: ControlConfig,
+                     state: LinkState, config: ControlConfig,
                      available: Dict[str, int],
                      r_cur: PathControlResult,
                      fees: Optional[PricingModel] = None) -> CapacityDecision:
@@ -45,7 +45,9 @@ def capacity_control(streams: List[Stream], codes: List[str],
 
     `available` is the current per-region container count and `r_cur` the
     step-1 result computed against it; `streams` should carry the
-    *predicted* next-epoch demand.
+    *predicted* next-epoch demand.  Pass the same `LinkStateSnapshot`
+    used for step 1 so the uncapacitated re-run reuses its matrices
+    instead of re-evaluating link state.
     """
     r_next = path_control(streams, codes, state, config, gateways=None,
                           fees=fees)

@@ -30,6 +30,7 @@ from repro.traffic.matrix import TrafficMatrix
 from repro.traffic.streams import Stream, StreamWorkload
 from repro.underlay.linkstate import LinkType
 from repro.underlay.pricing import PricingModel
+from repro.underlay.snapshot import TYPE_INDEX, LinkStateSnapshot
 
 _TEL = _telemetry()
 
@@ -72,7 +73,8 @@ class Controller:
         self.premium_only = premium_only
         self.internet_only = internet_only
         self.robust_percentile = robust_percentile
-        self.nib = NetworkInformationBase(window=nib_window)
+        self.nib = NetworkInformationBase(window=nib_window,
+                                          codes=self.codes)
         self.sib = StreamInformationBase(self.codes,
                                          n_harmonics=predictor_harmonics)
         self._workload = StreamWorkload(np.random.default_rng(seed))
@@ -114,6 +116,34 @@ class Controller:
             return None
         return (report.latency_ms, report.loss_rate)
 
+    def link_snapshot(self) -> LinkStateSnapshot:
+        """Matrix form of `link_state` over the controller's region set.
+
+        The run-epoch algorithms all consume this one snapshot, so link
+        state is evaluated once per epoch.  The topology variants apply
+        as whole-matrix masks: disallowed tiers become (inf, 1), and the
+        symmetric ablation averages each direction pair where both exist
+        (else (inf, 1)) — per-link results match `link_state` exactly.
+        """
+        if self.robust_percentile is not None:
+            snap = self.nib.robust_snapshot(self.codes,
+                                            self.robust_percentile)
+        else:
+            snap = self.nib.latest_snapshot(self.codes)
+        if self.premium_only:
+            snap.lat[TYPE_INDEX[LinkType.INTERNET]] = np.inf
+            snap.loss[TYPE_INDEX[LinkType.INTERNET]] = 1.0
+        if self.internet_only:
+            snap.lat[TYPE_INDEX[LinkType.PREMIUM]] = np.inf
+            snap.loss[TYPE_INDEX[LinkType.PREMIUM]] = 1.0
+        if self.symmetric_only:
+            lat_rev = snap.lat.transpose(0, 2, 1)
+            loss_rev = snap.loss.transpose(0, 2, 1)
+            both = np.isfinite(snap.lat) & np.isfinite(lat_rev)
+            snap.lat = np.where(both, (snap.lat + lat_rev) / 2.0, np.inf)
+            snap.loss = np.where(both, (snap.loss + loss_rev) / 2.0, 1.0)
+        return snap
+
     def run_epoch(self, now: float, observed_matrix: TrafficMatrix,
                   gateways: Dict[str, int]) -> ControlOutput:
         """One full control computation.
@@ -130,16 +160,20 @@ class Controller:
             predicted = self.sib.predicted_matrix()
             streams = self._workload.decompose(predicted)
 
+        with _TEL.span("algo_step", t=now, step="link_snapshot",
+                       regions=len(self.codes)):
+            snap = self.link_snapshot()
+
         with _TEL.span("algo_step", t=now, step="algo1.path_control"):
-            r_cur = path_control(streams, self.codes, self.link_state,
+            r_cur = path_control(streams, self.codes, snap,
                                  self.config, gateways=gateways,
                                  fees=self.pricing)
         with _TEL.span("algo_step", t=now, step="capacity_control"):
-            decision = capacity_control(streams, self.codes, self.link_state,
+            decision = capacity_control(streams, self.codes, snap,
                                         self.config, gateways, r_cur,
                                         fees=self.pricing)
         with _TEL.span("algo_step", t=now, step="algo2.reaction_plans"):
-            plans = generate_reaction_plans(r_cur, self.link_state,
+            plans = generate_reaction_plans(r_cur, snap,
                                             self.config.loss_ms_penalty)
         self.epochs_run += 1
         if traced:

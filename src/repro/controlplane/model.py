@@ -15,15 +15,20 @@ The exact problem is NP-hard (multi-commodity flow with integral paths);
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence, Tuple
+from typing import Callable, Sequence, Tuple, Union
 
 from repro.underlay.linkstate import LinkType
+from repro.underlay.snapshot import LinkStateSnapshot
 
 #: One hop of an overlay path: (src region, dst region, link type).
 PathHop = Tuple[str, str, LinkType]
 
 #: Signature of a link-state lookup: (src, dst, type) -> (latency, loss).
 LinkStateFn = Callable[[str, str, LinkType], Tuple[float, float]]
+
+#: What the control algorithms accept as link state: the legacy scalar
+#: callback, or a matrix snapshot evaluated once per control epoch.
+LinkState = Union[LinkStateFn, LinkStateSnapshot]
 
 
 @dataclass(frozen=True)
@@ -81,13 +86,21 @@ class OverlayPath:
         return OverlayPath(hops)
 
 
-def path_latency_ms(path: OverlayPath, state: LinkStateFn) -> float:
-    """End-to-end latency: the sum of hop latencies (Table 1's Lat(P))."""
+def path_latency_ms(path: OverlayPath, state: LinkState) -> float:
+    """End-to-end latency: the sum of hop latencies (Table 1's Lat(P)).
+
+    With a `LinkStateSnapshot` the hop latencies are matrix reads; with
+    the scalar callback each hop is one call.  Results are identical.
+    """
+    if isinstance(state, LinkStateSnapshot):
+        return state.path_latency_ms(path)
     return float(sum(state(a, b, t)[0] for (a, b, t) in path.hops))
 
 
-def path_loss_rate(path: OverlayPath, state: LinkStateFn) -> float:
+def path_loss_rate(path: OverlayPath, state: LinkState) -> float:
     """End-to-end loss: 1 - prod(1 - loss_hop) (Table 1's constraint)."""
+    if isinstance(state, LinkStateSnapshot):
+        return state.path_loss_rate(path)
     survive = 1.0
     for (a, b, t) in path.hops:
         survive *= 1.0 - state(a, b, t)[1]

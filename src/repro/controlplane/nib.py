@@ -10,17 +10,28 @@ per link and serve robust (percentile) state estimates: planning against
 a link's recent p90 loss instead of its last sample avoids routing onto
 links that merely look good this instant — a standard flap-damping
 technique the stability ablation quantifies.
+
+Storage is matrix-first: report histories live in preallocated
+``(2, N, N, window)`` ring-buffer arrays (axis 0 is the tier per
+`repro.underlay.snapshot.TYPE_ORDER`), so the controller's once-per-epoch
+`latest_snapshot` / `robust_snapshot` are whole-matrix numpy operations
+instead of 2·N² scalar lookups, and the scalar `robust_state` is a
+percentile over an array slice instead of per-call list comprehensions.
+The `LinkReport` deques remain as the object-level view (`get`,
+`history`, `snapshot`).
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.underlay.linkstate import LinkType
+from repro.underlay.snapshot import TYPE_INDEX, LinkStateSnapshot
 
 
 @dataclass(frozen=True)
@@ -44,14 +55,54 @@ class LinkReport:
 class NetworkInformationBase:
     """Recent link states for every directed link, plus pricing handles."""
 
-    def __init__(self, max_staleness_s: float = 60.0, window: int = 1):
+    def __init__(self, max_staleness_s: float = 60.0, window: int = 1,
+                 codes: Optional[Sequence[str]] = None):
+        """`codes` preallocates the ring-buffer matrices for a known
+        region set (the controller passes its own); reports for regions
+        outside it grow the matrices on demand."""
         if window < 1:
             raise ValueError(f"window must be >= 1 report, got {window}")
         self.max_staleness_s = float(max_staleness_s)
         self.window = int(window)
         self._reports: Dict[Tuple[str, str, LinkType],
                             Deque[LinkReport]] = {}
+        self._index: Dict[str, int] = {}
+        self._ring_lat = np.full((2, 0, 0, self.window), np.nan)
+        self._ring_loss = np.full((2, 0, 0, self.window), np.nan)
+        self._ring_count = np.zeros((2, 0, 0), dtype=np.int64)
+        self._ring_pos = np.zeros((2, 0, 0), dtype=np.int64)
+        if codes:
+            self._grow(list(codes))
 
+    # -------------------------------------------------------------- storage
+    def _grow(self, new_codes: List[str]) -> None:
+        """Enlarge the ring matrices to admit `new_codes`."""
+        for code in new_codes:
+            if code not in self._index:
+                self._index[code] = len(self._index)
+        n = len(self._index)
+        if n <= self._ring_lat.shape[1]:
+            return
+        old = self._ring_lat.shape[1]
+
+        def enlarge(arr: np.ndarray, fill) -> np.ndarray:
+            shape = ((2, n, n, self.window) if arr.ndim == 4 else (2, n, n))
+            out = np.full(shape, fill, dtype=arr.dtype)
+            out[:, :old, :old] = arr
+            return out
+
+        self._ring_lat = enlarge(self._ring_lat, np.nan)
+        self._ring_loss = enlarge(self._ring_loss, np.nan)
+        self._ring_count = enlarge(self._ring_count, 0)
+        self._ring_pos = enlarge(self._ring_pos, 0)
+
+    def _link_index(self, src: str, dst: str,
+                    link_type: LinkType) -> Tuple[int, int, int]:
+        if src not in self._index or dst not in self._index:
+            self._grow([src, dst])
+        return TYPE_INDEX[link_type], self._index[src], self._index[dst]
+
+    # ------------------------------------------------------------------ api
     def update(self, report: LinkReport) -> None:
         """Ingest a monitoring report; newest timestamp wins the head."""
         key = (report.src, report.dst, report.link_type)
@@ -62,6 +113,13 @@ class NetworkInformationBase:
         if history and report.reported_at < history[-1].reported_at:
             return  # stale out-of-order report
         history.append(report)
+        ti, i, j = self._link_index(report.src, report.dst, report.link_type)
+        pos = self._ring_pos[ti, i, j]
+        self._ring_lat[ti, i, j, pos] = report.latency_ms
+        self._ring_loss[ti, i, j, pos] = report.loss_rate
+        self._ring_pos[ti, i, j] = (pos + 1) % self.window
+        self._ring_count[ti, i, j] = min(
+            self._ring_count[ti, i, j] + 1, self.window)
 
     def update_many(self, reports: List[LinkReport]) -> None:
         for report in reports:
@@ -99,14 +157,63 @@ class NetworkInformationBase:
         """
         if not 0.0 <= percentile <= 100.0:
             raise ValueError(f"percentile {percentile} outside [0, 100]")
-        history = self._reports.get((src, dst, link_type))
-        if not history:
+        if not self._reports.get((src, dst, link_type)):
             raise KeyError(f"no report for {src}->{dst} ({link_type.value})")
-        lat = float(np.percentile([r.latency_ms for r in history],
-                                  percentile))
-        loss = float(np.percentile([r.loss_rate for r in history],
-                                   percentile))
+        ti, i, j = self._link_index(src, dst, link_type)
+        count = int(self._ring_count[ti, i, j])
+        # Percentiles are order-free, so the (possibly rotated) filled
+        # ring slice carries the same multiset as the report deque.
+        lat = float(np.percentile(self._ring_lat[ti, i, j, :count]
+                                  if count < self.window
+                                  else self._ring_lat[ti, i, j], percentile))
+        loss = float(np.percentile(self._ring_loss[ti, i, j, :count]
+                                   if count < self.window
+                                   else self._ring_loss[ti, i, j], percentile))
         return lat, loss
+
+    # --------------------------------------------------- matrix snapshots
+    def latest_snapshot(self, codes: Sequence[str]) -> LinkStateSnapshot:
+        """Latest-report matrices over `codes`; missing links (inf, 1)."""
+        last = (self._ring_pos - 1) % self.window
+        lat = np.take_along_axis(self._ring_lat, last[..., None],
+                                 axis=3)[..., 0]
+        loss = np.take_along_axis(self._ring_loss, last[..., None],
+                                  axis=3)[..., 0]
+        never = self._ring_count == 0
+        return self._project(codes, lat, loss, never)
+
+    def robust_snapshot(self, codes: Sequence[str],
+                        percentile: float = 90.0) -> LinkStateSnapshot:
+        """Whole-matrix percentile state over every link's window.
+
+        One ``nanpercentile`` over the ring-buffer arrays replaces 2·N²
+        scalar `robust_state` calls; per-link results are identical.
+        """
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError(f"percentile {percentile} outside [0, 100]")
+        if self._ring_lat.size == 0:
+            return LinkStateSnapshot.empty(codes)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            lat = np.nanpercentile(self._ring_lat, percentile, axis=3)
+            loss = np.nanpercentile(self._ring_loss, percentile, axis=3)
+        never = self._ring_count == 0
+        return self._project(codes, lat, loss, never)
+
+    def _project(self, codes: Sequence[str], lat_src: np.ndarray,
+                 loss_src: np.ndarray, never: np.ndarray) -> LinkStateSnapshot:
+        """Gather internal-index matrices into the requested code order."""
+        snap = LinkStateSnapshot.empty(codes)
+        ids = np.array([self._index.get(c, -1) for c in codes])
+        have = np.where(ids >= 0)[0]
+        if have.size:
+            sel = ids[have]
+            src_ix = np.ix_((0, 1), sel, sel)
+            dst_ix = np.ix_((0, 1), have, have)
+            missing = never[src_ix]
+            snap.lat[dst_ix] = np.where(missing, np.inf, lat_src[src_ix])
+            snap.loss[dst_ix] = np.where(missing, 1.0, loss_src[src_ix])
+        return snap
 
     def stale_links(self, now: float) -> List[Tuple[str, str, LinkType]]:
         """Links whose last report is older than the staleness budget."""

@@ -15,31 +15,39 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.controlplane.model import (ControlConfig, LinkStateFn,
+from repro.controlplane.model import (ControlConfig, LinkState,
                                       ObjectiveBreakdown)
 from repro.controlplane.pathcontrol import PathControlResult
 from repro.underlay.linkstate import LinkType
 from repro.underlay.pricing import PricingModel
+from repro.underlay.snapshot import LinkStateSnapshot
 
 #: UtilCost's throughput terms are per unit time; one epoch of sustained
 #: Mbps converts to GB via this factor (matches cost.accounting).
 GB_PER_MBPS_SECOND = 1.0 / 8000.0
 
 
-def evaluate_objective(result: PathControlResult, state: LinkStateFn,
+def evaluate_objective(result: PathControlResult, state: LinkState,
                        config: ControlConfig, pricing: PricingModel,
                        gateways: Dict[str, int],
                        epoch_s: float = 300.0) -> ObjectiveBreakdown:
     """Compute (UtilLat, UtilCost) for one epoch's forwarding decision.
 
     `gateways` is the container count per region (the N in C_c * N);
-    costs are priced for one epoch of sustained traffic.
+    costs are priced for one epoch of sustained traffic.  With a
+    `LinkStateSnapshot` the per-assignment latency limits come from one
+    batched matrix gather instead of per-assignment callbacks.
     """
+    if isinstance(state, LinkStateSnapshot):
+        direct = state.direct_latency(
+            [a.stream.src for a in result.assignments],
+            [a.stream.dst for a in result.assignments], LinkType.PREMIUM)
+    else:
+        direct = [state(a.stream.src, a.stream.dst, LinkType.PREMIUM)[0]
+                  for a in result.assignments]
     util_lat = 0.0
-    for a in result.assignments:
-        direct_premium, __ = state(a.stream.src, a.stream.dst,
-                                   LinkType.PREMIUM)
-        limit = config.latency_limit_ms(direct_premium)
+    for a, direct_premium in zip(result.assignments, direct):
+        limit = config.latency_limit_ms(float(direct_premium))
         if limit > 0:
             util_lat += a.latency_ms / limit
 

@@ -20,26 +20,63 @@ Implementation notes:
   current paths, and the graph is rebuilt whenever a capacity constraint
   blocks someone.  The result is identical and orders of magnitude
   faster, which the controller needs at planetary scale.
+* Link state arrives as one `LinkStateSnapshot` per call (a scalar
+  `LinkStateFn` is adapted into one, evaluated exactly once).  The
+  latency/loss/fee matrices and the capacity-independent edge weights
+  are shared by **every** graph rebuild within the call — only the
+  residual-capacity masks change between rebuilds — and all per-path
+  metrics are matrix reads instead of callback chains.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.controlplane.model import (ControlConfig, LinkStateFn, OverlayPath,
-                                      path_latency_ms, path_loss_rate)
+from repro.controlplane.model import ControlConfig, LinkState, OverlayPath
 from repro.obs import telemetry as _telemetry
 from repro.traffic.streams import Stream
 from repro.underlay.linkstate import LinkType
 from repro.underlay.pricing import PricingModel
-from repro.underlay.regions import RegionPair
+from repro.underlay.snapshot import TYPE_INDEX, TYPE_ORDER, LinkStateSnapshot
 
 _TEL = _telemetry()
 
-_TYPES = (LinkType.INTERNET, LinkType.PREMIUM)
+_TYPES = TYPE_ORDER
+
+#: Per-pricing-model cache of (codes tuple) -> (2, N, N) fee matrices.
+#: Egress fees are immutable per `PricingModel`, so the matrix is built
+#: once per (pricing, region set) for the life of the process.
+_FeeCache = Dict[Tuple[str, ...], np.ndarray]
+_FEE_CACHE: "weakref.WeakKeyDictionary[PricingModel, _FeeCache]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _fee_matrix(codes: List[str],
+                fees: Optional[PricingModel]) -> np.ndarray:
+    """(2, N, N) egress-fee matrix in `TYPE_ORDER`, cached per model."""
+    n = len(codes)
+    if fees is None:
+        return np.zeros((2, n, n))
+    per_model = _FEE_CACHE.setdefault(fees, {})
+    key = tuple(codes)
+    cached = per_model.get(key)
+    if cached is not None:
+        return cached
+    fee = np.zeros((2, n, n))
+    for ti, t in enumerate(_TYPES):
+        for i, a in enumerate(codes):
+            for j, b in enumerate(codes):
+                if i == j:
+                    continue
+                fee[ti, i, j] = (fees.internet_fee(a)
+                                 if t is LinkType.INTERNET
+                                 else fees.premium_fee(a, b))
+    per_model[key] = fee
+    return fee
 
 
 @dataclass
@@ -65,7 +102,7 @@ class PathControlResult:
     region_traffic: Dict[str, float]
     #: Internet egress per region and premium usage per pair (Mbps).
     internet_egress: Dict[str, float]
-    premium_usage: Dict[RegionPair, float]
+    premium_usage: Dict[Tuple[str, str], float]
     #: Gateways needed per region: ceil(traffic x headroom / B_c).
     used_gateways: Dict[str, int]
     #: Forwarding tables: region -> stream_id -> (next region, link type).
@@ -110,12 +147,6 @@ class _Capacities:
                                dtype=float)
         np.fill_diagonal(self.premium, 0.0)
 
-    def edge_capacity(self, i: int, j: int, link_type: LinkType) -> float:
-        cap = min(self.region[i], self.region[j])
-        if link_type is LinkType.INTERNET:
-            return min(cap, self.internet[i])
-        return min(cap, self.premium[i, j])
-
     def path_capacity(self, path: OverlayPath) -> float:
         cap = np.inf
         for region in path.regions:
@@ -139,44 +170,51 @@ class _Capacities:
                 self.premium[i, j] -= mbps
 
 
+class _EdgeWeights:
+    """Capacity-independent edge data, shared by all graph rebuilds.
+
+    Built once per `path_control` call from the epoch's snapshot: the
+    weighted edge cost (latency + loss penalty + fee penalty) and the
+    quality masks.  A rebuild only re-applies the residual-capacity
+    masks on top.
+    """
+
+    def __init__(self, snap: LinkStateSnapshot, config: ControlConfig,
+                 fees: Optional[PricingModel]):
+        self.snap = snap
+        self.lat = snap.lat
+        self.loss = snap.loss
+        self.fee = _fee_matrix(snap.codes, fees)
+        self.weight = (self.lat + config.loss_ms_penalty * self.loss
+                       + config.cost_ms_per_fee * self.fee)
+        # An edge is quality-usable if its own loss does not already
+        # violate the path loss budget; the best-effort fallback pass
+        # only requires the link to exist (finite latency).
+        self.quality_ok = self.loss <= config.loss_limit
+        self.exists = np.isfinite(self.lat)
+
+
 class _ShortestPaths:
     """Hop-limited all-pairs shortest paths over the hybrid graph."""
 
-    def __init__(self, codes: List[str], state: LinkStateFn,
-                 config: ControlConfig, caps: _Capacities,
-                 fees: Optional[PricingModel], enforce_loss: bool = True):
-        n = len(codes)
-        self.codes = codes
+    def __init__(self, weights: _EdgeWeights, config: ControlConfig,
+                 caps: _Capacities, enforce_loss: bool = True,
+                 first_build: bool = True):
+        self.codes = weights.snap.codes
         self.index = caps.index
-        lat = np.full((2, n, n), np.inf)
-        loss = np.ones((2, n, n))
-        fee = np.zeros((2, n, n))
-        for ti, t in enumerate(_TYPES):
-            for i, a in enumerate(codes):
-                for j, b in enumerate(codes):
-                    if i == j:
-                        continue
-                    l, p = state(a, b, t)
-                    lat[ti, i, j] = l
-                    loss[ti, i, j] = p
-                    if fees is not None:
-                        fee[ti, i, j] = (fees.internet_fee(a)
-                                         if t is LinkType.INTERNET
-                                         else fees.premium_fee(a, b))
-        self.lat, self.loss, self.fee = lat, loss, fee
+        if not first_build and _TEL.enabled:
+            _TEL.counter("pathcontrol.snapshot_reuses").inc()
 
-        weight = (lat + config.loss_ms_penalty * loss
-                  + config.cost_ms_per_fee * fee)
         # An edge is unusable if its own loss already violates the path
         # loss budget (unless running the best-effort fallback pass), or
         # if it has no residual capacity.
-        usable = (loss <= config.loss_limit if enforce_loss
-                  else np.isfinite(lat))
+        usable = (weights.quality_ok if enforce_loss
+                  else weights.exists).copy()
         usable[0] &= caps.internet[:, None] > 0.0
         usable[1] &= caps.premium > 0.0
         region_ok = caps.region > 0.0
         usable &= region_ok[None, :, None] & region_ok[None, None, :]
-        weight = np.where(usable, weight, np.inf)
+        weight = np.where(usable, weights.weight, np.inf)
 
         # Per-edge best link type (hybrid choice).
         self.best_type = np.argmin(weight, axis=0)
@@ -202,18 +240,28 @@ class _ShortestPaths:
             dist = np.where(improved, best_val, dist)
         self.w = w
         self.dist = dist
+        #: Reconstructed paths memoised per (src, dst) — the DP state is
+        #: immutable within one pass, so reconstruction is too.
+        self._path_cache: Dict[Tuple[int, int], Optional[OverlayPath]] = {}
 
     def path(self, src: str, dst: str) -> Optional[OverlayPath]:
         """Reconstruct the best path, or None if unreachable."""
         i, j = self.index[src], self.index[dst]
+        key = (i, j)
+        cached = self._path_cache.get(key, False)
+        if cached is not False:
+            return cached
         if not np.isfinite(self.dist[i, j]):
+            self._path_cache[key] = None
             return None
         nodes = self._expand(i, j, len(self._vias))
         hops = []
         for a, b in zip(nodes[:-1], nodes[1:]):
             t = _TYPES[int(self.best_type[a, b])]
             hops.append((self.codes[a], self.codes[b], t))
-        return OverlayPath(tuple(hops))
+        path = OverlayPath(tuple(hops))
+        self._path_cache[key] = path
+        return path
 
     def latency(self, src: str, dst: str) -> float:
         return float(self.dist[self.index[src], self.index[dst]])
@@ -231,7 +279,7 @@ class _ShortestPaths:
 ORDERINGS = ("latency_desc", "latency_asc", "demand_desc", "input")
 
 
-def path_control(streams: List[Stream], codes: List[str], state: LinkStateFn,
+def path_control(streams: List[Stream], codes: List[str], state: LinkState,
                  config: ControlConfig,
                  gateways: Optional[Dict[str, int]] = None,
                  fees: Optional[PricingModel] = None,
@@ -239,18 +287,23 @@ def path_control(streams: List[Stream], codes: List[str], state: LinkStateFn,
                  ordering: str = "latency_desc") -> PathControlResult:
     """Run Algorithm 1.
 
-    `gateways` gives the current per-region container counts; pass None to
-    run uncapacitated on the region dimension (used by capacity control's
-    second step).  `fees` enables the cost term in edge weights.
-    `ordering` selects the per-pass stream order — the paper's
-    latency-descending heuristic by default; the alternatives exist for
-    the ordering ablation.
+    `state` is either a `LinkStateSnapshot` (the controller's per-epoch
+    matrix snapshot — preferred) or a scalar `LinkStateFn`, which is
+    evaluated into a snapshot exactly once.  `gateways` gives the
+    current per-region container counts; pass None to run uncapacitated
+    on the region dimension (used by capacity control's second step).
+    `fees` enables the cost term in edge weights.  `ordering` selects
+    the per-pass stream order — the paper's latency-descending heuristic
+    by default; the alternatives exist for the ordering ablation.
     """
     if ordering not in ORDERINGS:
         raise ValueError(f"unknown ordering {ordering!r}; choose from "
                          f"{ORDERINGS}")
-    caps = _Capacities(list(codes), config, gateways)
-    sp = _ShortestPaths(list(codes), state, config, caps, fees)
+    codes = list(codes)
+    snap = LinkStateSnapshot.ensure(state, codes)
+    weights = _EdgeWeights(snap, config, fees)
+    caps = _Capacities(codes, config, gateways)
+    sp = _ShortestPaths(weights, config, caps)
     rebuilds = 0
 
     remaining: Dict[int, float] = {s.stream_id: s.demand_mbps for s in streams}
@@ -259,11 +312,10 @@ def path_control(streams: List[Stream], codes: List[str], state: LinkStateFn,
 
     # Latency limits are anchored to the direct premium latency of each
     # pair (the best the underlay can do).
-    def limit_for(s: Stream) -> float:
-        lat, __ = state(s.src, s.dst, LinkType.PREMIUM)
-        return config.latency_limit_ms(lat)
-
-    limits = {s.stream_id: limit_for(s) for s in streams}
+    lat_premium = snap.lat[TYPE_INDEX[LinkType.PREMIUM]]
+    index = snap.index
+    limits = {s.stream_id: config.latency_limit_ms(
+        float(lat_premium[index[s.src], index[s.dst]])) for s in streams}
 
     def ordered(active_streams: List[Stream]) -> List[Stream]:
         if ordering == "input":
@@ -297,8 +349,8 @@ def path_control(streams: List[Stream], codes: List[str], state: LinkStateFn,
             if take <= 1e-9:
                 blocked.append(s)
                 continue
-            lat = path_latency_ms(path, state)
-            loss = path_loss_rate(path, state)
+            lat = snap.path_latency_ms(path)
+            loss = snap.path_loss_rate(path)
             meets = (lat <= limits[s.stream_id]
                      and loss <= config.loss_limit)
             caps.consume(path, take)
@@ -313,7 +365,7 @@ def path_control(streams: List[Stream], codes: List[str], state: LinkStateFn,
             break
         if not assigned_any:
             break  # no capacity anywhere; give up on the rest
-        sp = _ShortestPaths(list(codes), state, config, caps, fees)
+        sp = _ShortestPaths(weights, config, caps, first_build=False)
         rebuilds += 1
 
     # Best-effort fallback: streams that found no quality-feasible edge at
@@ -322,8 +374,8 @@ def path_control(streams: List[Stream], codes: List[str], state: LinkStateFn,
     # violating constraints.
     leftovers = [s for s in streams if remaining[s.stream_id] > 1e-9]
     if leftovers:
-        sp = _ShortestPaths(list(codes), state, config, caps, fees,
-                            enforce_loss=False)
+        sp = _ShortestPaths(weights, config, caps, enforce_loss=False,
+                            first_build=False)
         for s in leftovers:
             want = remaining[s.stream_id]
             path = sp.path(s.src, s.dst)
@@ -335,8 +387,8 @@ def path_control(streams: List[Stream], codes: List[str], state: LinkStateFn,
             caps.consume(path, take)
             remaining[s.stream_id] = want - take
             assignments.append(Assignment(
-                s, path, float(take), path_latency_ms(path, state),
-                path_loss_rate(path, state), False))
+                s, path, float(take), snap.path_latency_ms(path),
+                snap.path_loss_rate(path), False))
 
     unassigned = [(by_id[sid], res) for sid, res in remaining.items()
                   if res > 1e-9]
@@ -359,7 +411,7 @@ def _summarise(assignments: List[Assignment],
                config: ControlConfig, rebuilds: int) -> PathControlResult:
     region_traffic: Dict[str, float] = {c: 0.0 for c in codes}
     internet_egress: Dict[str, float] = {c: 0.0 for c in codes}
-    premium_usage: Dict[RegionPair, float] = {}
+    premium_usage: Dict[Tuple[str, str], float] = {}
     tables: Dict[str, Dict[int, Tuple[str, LinkType]]] = {c: {} for c in codes}
 
     for a in assignments:

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.controlplane.model import (LinkStateFn, OverlayPath,
+from repro.controlplane.model import (LinkState, OverlayPath,
                                       path_latency_ms, path_loss_rate)
 from repro.controlplane.pathcontrol import PathControlResult
 from repro.obs import telemetry as _telemetry
@@ -55,51 +55,61 @@ class ReactionPlan:
         return self.relay_regions[0]
 
 
-def _score(path: OverlayPath, state: LinkStateFn,
+def _score(path: OverlayPath, state: LinkState,
            loss_ms_penalty: float = 2500.0) -> float:
     """Plan comparison metric: latency plus a loss penalty."""
     return (path_latency_ms(path, state)
             + loss_ms_penalty * path_loss_rate(path, state))
 
 
-def generate_reaction_plans(result: PathControlResult, state: LinkStateFn,
+def generate_reaction_plans(result: PathControlResult, state: LinkState,
                             loss_ms_penalty: float = 2500.0
                             ) -> Dict[Tuple[int, str], ReactionPlan]:
     """Run Algorithm 2 over every assignment of a path-control result.
 
     Returns plans keyed by (stream_id, region); the destination region
-    needs no plan.
+    needs no plan.  Link state is read through `path_latency_ms` /
+    `path_loss_rate`, so a `LinkStateSnapshot` makes every candidate
+    score a couple of matrix reads.  Plans depend only on the region
+    sequence, so the reverse walk is memoised per distinct
+    `path.regions` — at scale most streams share a handful of routes.
     """
     plans: Dict[Tuple[int, str], ReactionPlan] = {}
+    plans_by_route: Dict[Tuple[str, ...], Dict[str, Tuple[str, ...]]] = {}
     for assignment in result.assignments:
         path = assignment.path
         regions = list(path.regions)
         dst = regions[-1]
         # rec_plan[r] = ordered relay sequence (excluding r) to dst.
-        rec_plan: Dict[str, Tuple[str, ...]] = {}
-        # Walk in reverse from the region just before the destination.
-        for i in range(len(regions) - 2, -1, -1):
-            r_i = regions[i]
-            best = (dst,)
-            best_score = _score(OverlayPath.via((r_i, dst), LinkType.PREMIUM),
-                                state, loss_ms_penalty)
-            # Try relaying through a later on-path region r_j and following
-            # r_j's (already computed) plan.
-            for j in range(i + 1, len(regions) - 1):
-                r_j = regions[j]
-                candidate = (r_j,) + rec_plan[r_j]
-                score = _score(OverlayPath.via((r_i,) + candidate,
-                                               LinkType.PREMIUM),
-                               state, loss_ms_penalty)
-                if score < best_score:
-                    best, best_score = candidate, score
-            rec_plan[r_i] = best
+        rec_plan = plans_by_route.get(path.regions)
+        if rec_plan is None:
+            rec_plan = {}
+            # Walk in reverse from the region just before the destination.
+            for i in range(len(regions) - 2, -1, -1):
+                r_i = regions[i]
+                best = (dst,)
+                best_score = _score(
+                    OverlayPath.via((r_i, dst), LinkType.PREMIUM),
+                    state, loss_ms_penalty)
+                # Try relaying through a later on-path region r_j and
+                # following r_j's (already computed) plan.
+                for j in range(i + 1, len(regions) - 1):
+                    r_j = regions[j]
+                    candidate = (r_j,) + rec_plan[r_j]
+                    score = _score(OverlayPath.via((r_i,) + candidate,
+                                                   LinkType.PREMIUM),
+                                   state, loss_ms_penalty)
+                    if score < best_score:
+                        best, best_score = candidate, score
+                rec_plan[r_i] = best
+            plans_by_route[path.regions] = rec_plan
+        for r_i in regions[:-1]:
             key = (assignment.stream.stream_id, r_i)
             # A stream may appear with several assignments (demand split);
             # keep the plan of the first (best) path.
             if key not in plans:
                 plans[key] = ReactionPlan(assignment.stream.stream_id, r_i,
-                                          best)
+                                          rec_plan[r_i])
     if _TEL.enabled:
         _TEL.counter("reactionplan.plans").inc(len(plans))
         relay_hops = _TEL.histogram("reactionplan.relay_hops",

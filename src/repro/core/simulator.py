@@ -44,6 +44,7 @@ from repro.traffic.demand import DemandModel
 from repro.traffic.matrix import TrafficMatrix
 from repro.underlay.linkstate import LinkType
 from repro.underlay.regions import RegionPair
+from repro.underlay.snapshot import TYPE_INDEX
 from repro.underlay.topology import Underlay
 
 _TEL = _telemetry()
@@ -385,17 +386,25 @@ class EpochSimulator:
         rng = self._streams.get("monitor.noise")
         reports = []
         reps = self.sim_config.monitoring.representatives
+        # True link states come from one vectorised underlay snapshot
+        # (bit-identical to per-link LinkProcess evaluation); the scalar
+        # loop below only draws measurement noise, in the exact RNG
+        # stream order the per-link formulation used.
+        snap = self.underlay.snapshot(now)
+        index = snap.index
         for lt in (LinkType.INTERNET, LinkType.PREMIUM):
-            for link in self.underlay.links_of_type(lt):
-                true_lat = float(link.latency_ms(now))
-                true_loss = float(link.loss_rate(now))
+            lat_m = snap.lat[TYPE_INDEX[lt]]
+            loss_m = snap.loss[TYPE_INDEX[lt]]
+            for (src, dst) in self.pairs:
+                true_lat = float(lat_m[index[src], index[dst]])
+                true_loss = float(loss_m[index[src], index[dst]])
                 measurements = [
                     (true_lat * float(rng.uniform(0.97, 1.03)),
                      min(max(true_loss * float(rng.uniform(0.8, 1.2)), 0.0),
                          1.0))
                     for __ in range(reps)]
                 reports.append(self._grouping.aggregate(
-                    link.src.code, link.dst.code, lt, measurements, now))
+                    src, dst, lt, measurements, now))
         self.controller.nib.update_many(reports)
         if _TEL.enabled:
             _TEL.counter("simulator.probe_rounds").inc()

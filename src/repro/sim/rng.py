@@ -73,24 +73,33 @@ def _splitmix64(x: np.ndarray) -> np.ndarray:
     return x ^ (x >> _U64(31))
 
 
-def hash_uniform(seed: int, t: ArrayLike, salt: int = 0) -> np.ndarray:
+def hash_uniform(seed: Union[int, np.ndarray], t: ArrayLike,
+                 salt: int = 0) -> np.ndarray:
     """Stateless uniform(0,1) noise indexed by integer time.
 
     The same (seed, floor(t), salt) always yields the same value, so a
     process can be sampled at arbitrary times in arbitrary order.
+    `seed` may be a uint64 array (one stream per element, broadcast
+    against `t`), which is how link-state snapshots evaluate every link
+    of an underlay in one vectorised pass.
     """
     ti = np.asarray(np.floor(np.asarray(t, dtype=np.float64)), dtype=np.int64)
+    if isinstance(seed, np.ndarray):
+        seed_u = seed.astype(np.uint64, copy=False)
+    else:
+        seed_u = _U64(seed & 0xFFFFFFFFFFFFFFFF)
     with np.errstate(over="ignore"):
         x = ti.view(np.uint64) if ti.dtype == np.uint64 else ti.astype(np.uint64)
         x = (x * _U64(0xD1342543DE82EF95)) & _MASK
-        x ^= _U64(seed & 0xFFFFFFFFFFFFFFFF)
+        x = x ^ seed_u
         x = (x + _U64((salt * 0xA24BAED4963EE407) & 0xFFFFFFFFFFFFFFFF)) & _MASK
         mixed = _splitmix64(x)
     # 53-bit mantissa -> uniform double in [0, 1)
     return (mixed >> _U64(11)).astype(np.float64) * (1.0 / 9007199254740992.0)
 
 
-def hash_noise(seed: int, t: ArrayLike, salt: int = 0) -> np.ndarray:
+def hash_noise(seed: Union[int, np.ndarray], t: ArrayLike,
+               salt: int = 0) -> np.ndarray:
     """Stateless standard-normal noise indexed by integer time.
 
     Built from two independent uniforms via Box-Muller; deterministic in

@@ -14,6 +14,7 @@ from repro.underlay.events import DegradationEvent, EventTimeline, generate_time
 from repro.underlay.linkstate import LinkType, LinkProcess, LinkStateSample
 from repro.underlay.pricing import PricingModel
 from repro.underlay.similarity import GatewayLinkInstance, quality_similarity
+from repro.underlay.snapshot import TYPE_INDEX, TYPE_ORDER, LinkStateSnapshot
 from repro.underlay.topology import Underlay, build_underlay
 
 __all__ = [
@@ -31,6 +32,9 @@ __all__ = [
     "PricingModel",
     "GatewayLinkInstance",
     "quality_similarity",
+    "LinkStateSnapshot",
+    "TYPE_INDEX",
+    "TYPE_ORDER",
     "Underlay",
     "build_underlay",
 ]

@@ -149,6 +149,19 @@ class EventTimeline:
         """Added loss rate at time(s) `t` (piecewise linear)."""
         return self._eval(t, self._loss_val, self._loss_slope)
 
+    def latency_add_scalar(self, t: float) -> float:
+        """`latency_add` for one instant without array plumbing.
+
+        Bit-identical to ``latency_add(t)`` (same IEEE operations); the
+        snapshot layer calls this once per link per epoch, so the array
+        wrapping overhead matters.
+        """
+        return self._eval_scalar(t, self._lat_val, self._lat_slope)
+
+    def loss_add_scalar(self, t: float) -> float:
+        """`loss_add` for one instant without array plumbing."""
+        return self._eval_scalar(t, self._loss_val, self._loss_slope)
+
     def _eval(self, t, values: np.ndarray, slopes: np.ndarray) -> np.ndarray:
         tt = np.asarray(t, dtype=float)
         idx = np.searchsorted(self._times, tt, side="right") - 1
@@ -156,6 +169,14 @@ class EventTimeline:
         out = values[safe] + slopes[safe] * (tt - self._times[safe])
         out = np.where(idx >= 0, out, 0.0)
         return np.maximum(out, 0.0)
+
+    def _eval_scalar(self, t: float, values: np.ndarray,
+                     slopes: np.ndarray) -> float:
+        idx = int(np.searchsorted(self._times, t, side="right")) - 1
+        if idx < 0:
+            return 0.0
+        out = values[idx] + slopes[idx] * (t - self._times[idx])
+        return float(out) if out > 0.0 else 0.0
 
     def active_events(self, t: float) -> List[DegradationEvent]:
         """Events covering instant `t` (for diagnostics and case studies)."""

@@ -1,0 +1,288 @@
+"""Matrix-valued link-state snapshots.
+
+The control loop used to funnel every link-state read through a scalar
+``LinkStateFn`` callback, one (src, dst, type) at a time — thousands of
+Python calls (each re-evaluating a `LinkProcess`) per `path_control`
+run.  A `LinkStateSnapshot` evaluates the whole underlay **once** per
+control epoch into dense ``(2, N, N)`` latency/loss matrices (axis 0 is
+the link tier in `TYPE_ORDER`); every consumer then reads plain array
+elements.
+
+Three builders cover the call sites:
+
+* `from_underlay` — one vectorised pass over an `Underlay`'s link
+  parameters (stateless hash noise over a seed *matrix*, diurnal terms
+  broadcast from per-region offsets), plus one cheap scalar timeline
+  lookup per link.  Bit-identical to sampling each `LinkProcess`.
+* `from_fn` — adapter for any legacy scalar callback (still 2·N² calls,
+  but exactly once instead of once per graph rebuild).
+* plain construction from matrices — what the NIB's whole-matrix
+  `latest_snapshot` / `robust_snapshot` return to the controller.
+
+The scalar path metrics mirror `repro.controlplane.model`'s float
+semantics exactly (same IEEE operations in the same order), so
+refactored consumers produce bit-identical control decisions — the
+golden-equivalence tests pin this down.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.obs import telemetry as _telemetry
+from repro.sim.rng import hash_noise
+from repro.underlay.linkstate import LinkType, busy_factor
+
+_TEL = _telemetry()
+
+#: Tier order of axis 0 of the snapshot matrices.
+TYPE_ORDER: Tuple[LinkType, ...] = (LinkType.INTERNET, LinkType.PREMIUM)
+#: LinkType -> row index in axis 0.
+TYPE_INDEX = {t: i for i, t in enumerate(TYPE_ORDER)}
+
+#: Scalar link-state callback signature (kept for backward compatibility).
+LinkStateFn = Callable[[str, str, LinkType], Tuple[float, float]]
+
+
+class LinkStateSnapshot:
+    """Dense per-tier latency/loss matrices for one control instant.
+
+    ``lat[k, i, j]`` / ``loss[k, i, j]`` hold the state of the directed
+    link ``codes[i] -> codes[j]`` of tier ``TYPE_ORDER[k]``.  Missing or
+    disallowed links are ``(inf, 1.0)``; the diagonal is always missing.
+    """
+
+    __slots__ = ("codes", "index", "lat", "loss", "t")
+
+    def __init__(self, codes: Sequence[str], lat: np.ndarray,
+                 loss: np.ndarray, t: Optional[float] = None):
+        n = len(codes)
+        if lat.shape != (2, n, n) or loss.shape != (2, n, n):
+            raise ValueError(f"snapshot matrices must be (2, {n}, {n}); "
+                             f"got {lat.shape} and {loss.shape}")
+        self.codes = list(codes)
+        self.index = {c: i for i, c in enumerate(self.codes)}
+        self.lat = lat
+        self.loss = loss
+        self.t = t
+
+    # ---------------------------------------------------------------- build
+    @classmethod
+    def empty(cls, codes: Sequence[str],
+              t: Optional[float] = None) -> "LinkStateSnapshot":
+        """All links missing: latency inf, loss 1."""
+        n = len(codes)
+        return cls(codes, np.full((2, n, n), np.inf),
+                   np.ones((2, n, n)), t)
+
+    @classmethod
+    def from_fn(cls, codes: Sequence[str], fn: LinkStateFn,
+                t: Optional[float] = None) -> "LinkStateSnapshot":
+        """Evaluate a scalar link-state callback once for every link."""
+        with _TEL.span("algo_step", t=t, step="snapshot_build",
+                       source="fn", regions=len(codes)):
+            snap = cls.empty(codes, t)
+            lat, loss = snap.lat, snap.loss
+            for ti, link_type in enumerate(TYPE_ORDER):
+                for i, a in enumerate(snap.codes):
+                    for j, b in enumerate(snap.codes):
+                        if i == j:
+                            continue
+                        l, p = fn(a, b, link_type)
+                        lat[ti, i, j] = l
+                        loss[ti, i, j] = p
+        return snap
+
+    @classmethod
+    def from_underlay(cls, underlay, t: float) -> "LinkStateSnapshot":
+        """Vectorised evaluation of every `LinkProcess` at instant `t`.
+
+        Bit-identical to ``link.latency_ms(t)`` / ``link.loss_rate(t)``
+        per link: the same IEEE operations run element-wise over
+        parameter matrices instead of once per scalar call.
+        """
+        with _TEL.span("algo_step", t=t, step="snapshot_build",
+                       source="underlay", regions=len(underlay.codes)):
+            p = underlay.link_param_arrays()
+            t_f = float(t)
+            if t_f > p.horizon_s:
+                raise ValueError(
+                    f"query at t={t_f:.0f}s exceeds the generated "
+                    f"horizon {p.horizon_s:.0f}s; build the underlay "
+                    "with a larger horizon")
+            local_h = (t_f / 3600.0 + p.utc_offset[None, :, None]) % 24.0
+            busy = busy_factor(local_h)
+            diurnal_lat = 1.0 + p.diurnal_latency_amp * busy
+            jitter_lat = np.exp(
+                p.jitter_sigma * hash_noise(p.noise_seed, t_f, salt=1))
+            lat_add, loss_add = p.timeline_adds(t_f)
+            lat = p.base_latency_ms * diurnal_lat * jitter_lat + lat_add
+
+            diurnal_loss = p.diurnal_loss_amp * busy
+            jitter_loss = np.exp(0.6 * hash_noise(p.noise_seed, t_f, salt=2))
+            raw = p.base_loss * jitter_loss + diurnal_loss + loss_add
+            loss = np.clip(raw, 0.0, 1.0)
+
+            diag = np.arange(len(underlay.codes))
+            lat[:, diag, diag] = np.inf
+            loss[:, diag, diag] = 1.0
+        return cls(underlay.codes, lat, loss, t_f)
+
+    @classmethod
+    def ensure(cls, state: Union["LinkStateSnapshot", LinkStateFn],
+               codes: Sequence[str]) -> "LinkStateSnapshot":
+        """Pass a snapshot through; wrap a scalar callback into one.
+
+        A passed snapshot must cover exactly `codes` in the same order —
+        the consumers index their capacity arrays by that ordering.
+        """
+        if isinstance(state, LinkStateSnapshot):
+            if state.codes != list(codes):
+                raise ValueError(
+                    "snapshot regions do not match the requested codes: "
+                    f"{state.codes} vs {list(codes)}")
+            return state
+        return cls.from_fn(codes, state)
+
+    # --------------------------------------------------------------- lookup
+    def lookup(self, src: str, dst: str,
+               link_type: LinkType) -> Tuple[float, float]:
+        """Scalar (latency, loss) — the `LinkStateFn` contract."""
+        ti = TYPE_INDEX[link_type]
+        i, j = self.index[src], self.index[dst]
+        return (float(self.lat[ti, i, j]), float(self.loss[ti, i, j]))
+
+    def state_fn(self) -> LinkStateFn:
+        """A scalar `LinkStateFn` view for legacy call sites."""
+        return self.lookup
+
+    # --------------------------------------------------------- path metrics
+    def path_latency_ms(self, path) -> float:
+        """End-to-end latency of one `OverlayPath` (matrix-indexed).
+
+        Accumulates hop latencies left-to-right like
+        ``model.path_latency_ms`` — bit-identical results.
+        """
+        lat, index = self.lat, self.index
+        total = 0.0
+        for (a, b, link_type) in path.hops:
+            total = total + lat[TYPE_INDEX[link_type], index[a], index[b]]
+        return float(total)
+
+    def path_loss_rate(self, path) -> float:
+        """End-to-end loss of one `OverlayPath` (matrix-indexed)."""
+        loss, index = self.loss, self.index
+        survive = 1.0
+        for (a, b, link_type) in path.hops:
+            survive = survive * (
+                1.0 - loss[TYPE_INDEX[link_type], index[a], index[b]])
+        return float(1.0 - survive)
+
+    def paths_latency_ms(self, paths: Sequence) -> np.ndarray:
+        """Batched `path_latency_ms` over many paths at once.
+
+        Column-wise accumulation keeps each path's left-to-right float
+        addition order, so every element matches the scalar variant.
+        """
+        ti, ii, jj, valid = self._hop_index_arrays(paths)
+        total = np.zeros(len(paths))
+        lat = self.lat
+        for h in range(ti.shape[1]):
+            total = total + np.where(valid[:, h],
+                                     lat[ti[:, h], ii[:, h], jj[:, h]], 0.0)
+        return total
+
+    def paths_loss_rate(self, paths: Sequence) -> np.ndarray:
+        """Batched `path_loss_rate` over many paths at once."""
+        ti, ii, jj, valid = self._hop_index_arrays(paths)
+        survive = np.ones(len(paths))
+        loss = self.loss
+        for h in range(ti.shape[1]):
+            survive = survive * (1.0 - np.where(
+                valid[:, h], loss[ti[:, h], ii[:, h], jj[:, h]], 0.0))
+        return 1.0 - survive
+
+    def direct_latency(self, srcs: Sequence[str], dsts: Sequence[str],
+                       link_type: LinkType) -> np.ndarray:
+        """Latencies of many direct links of one tier (fancy-indexed)."""
+        index = self.index
+        ii = np.fromiter((index[s] for s in srcs), dtype=np.intp,
+                         count=len(srcs))
+        jj = np.fromiter((index[d] for d in dsts), dtype=np.intp,
+                         count=len(dsts))
+        return self.lat[TYPE_INDEX[link_type], ii, jj]
+
+    # ------------------------------------------------------------- internal
+    def _hop_index_arrays(self, paths: Sequence) -> Tuple[np.ndarray, ...]:
+        max_hops = max((len(p.hops) for p in paths), default=0)
+        shape = (len(paths), max_hops)
+        ti = np.zeros(shape, dtype=np.intp)
+        ii = np.zeros(shape, dtype=np.intp)
+        jj = np.zeros(shape, dtype=np.intp)
+        valid = np.zeros(shape, dtype=bool)
+        index = self.index
+        for k, path in enumerate(paths):
+            for h, (a, b, link_type) in enumerate(path.hops):
+                ti[k, h] = TYPE_INDEX[link_type]
+                ii[k, h] = index[a]
+                jj[k, h] = index[b]
+                valid[k, h] = True
+        return ti, ii, jj, valid
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        at = "" if self.t is None else f" @ t={self.t:.0f}s"
+        return f"LinkStateSnapshot({len(self.codes)} regions{at})"
+
+
+class _LinkParamArrays:
+    """Per-link process parameters stacked into matrices (see
+    `Underlay.link_param_arrays`); built once per underlay and reused by
+    every `LinkStateSnapshot.from_underlay` call."""
+
+    __slots__ = ("base_latency_ms", "jitter_sigma", "diurnal_latency_amp",
+                 "base_loss", "diurnal_loss_amp", "noise_seed", "utc_offset",
+                 "timelines", "horizon_s")
+
+    def __init__(self, underlay):
+        codes = underlay.codes
+        n = len(codes)
+        shape = (2, n, n)
+        self.base_latency_ms = np.zeros(shape)
+        self.jitter_sigma = np.zeros(shape)
+        self.diurnal_latency_amp = np.zeros(shape)
+        self.base_loss = np.zeros(shape)
+        self.diurnal_loss_amp = np.zeros(shape)
+        self.noise_seed = np.zeros(shape, dtype=np.uint64)
+        self.utc_offset = np.array(
+            [underlay.region(c).utc_offset for c in codes], dtype=float)
+        #: (tier, i, j, timeline) for the per-link scalar event lookups.
+        self.timelines = []
+        self.horizon_s = np.inf
+        for ti, link_type in enumerate(TYPE_ORDER):
+            for i, a in enumerate(codes):
+                for j, b in enumerate(codes):
+                    if i == j:
+                        continue
+                    link = underlay.link(a, b, link_type)
+                    self.base_latency_ms[ti, i, j] = link.base_latency_ms
+                    self.jitter_sigma[ti, i, j] = link.jitter_sigma
+                    self.diurnal_latency_amp[ti, i, j] = \
+                        link.diurnal_latency_amp
+                    self.base_loss[ti, i, j] = link.base_loss
+                    self.diurnal_loss_amp[ti, i, j] = link.diurnal_loss_amp
+                    self.noise_seed[ti, i, j] = np.uint64(link.noise_seed)
+                    self.timelines.append((ti, i, j, link.timeline))
+                    self.horizon_s = min(self.horizon_s,
+                                         link.timeline.horizon_s)
+
+    def timeline_adds(self, t: float) -> Tuple[np.ndarray, np.ndarray]:
+        """(latency_add, loss_add) matrices at instant `t`."""
+        n = self.base_latency_ms.shape[1]
+        lat_add = np.zeros((2, n, n))
+        loss_add = np.zeros((2, n, n))
+        for ti, i, j, timeline in self.timelines:
+            lat_add[ti, i, j] = timeline.latency_add_scalar(t)
+            loss_add[ti, i, j] = timeline.loss_add_scalar(t)
+        return lat_add, loss_add

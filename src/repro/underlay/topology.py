@@ -34,6 +34,7 @@ class Underlay:
         self._links = dict(links)
         self.pricing = pricing
         self.config = config
+        self._param_arrays = None  # lazy; see link_param_arrays()
 
     # ------------------------------------------------------------------ api
     @property
@@ -60,6 +61,23 @@ class Underlay:
         if code not in self.region_by_code:
             raise KeyError(f"unknown region {code!r}")
         return self.region_by_code[code]
+
+    def link_param_arrays(self):
+        """Per-link process parameters stacked into matrices.
+
+        Built lazily once per underlay (link processes are immutable)
+        and consumed by `LinkStateSnapshot.from_underlay`, which
+        evaluates every link in one vectorised pass.
+        """
+        if self._param_arrays is None:
+            from repro.underlay.snapshot import _LinkParamArrays
+            self._param_arrays = _LinkParamArrays(self)
+        return self._param_arrays
+
+    def snapshot(self, t: float):
+        """Matrix link-state snapshot of every link at instant `t`."""
+        from repro.underlay.snapshot import LinkStateSnapshot
+        return LinkStateSnapshot.from_underlay(self, t)
 
     def average_latency(self, link_type: LinkType, t) -> np.ndarray:
         """Mean latency over all directed pairs at time(s) `t` (Fig. 1a)."""

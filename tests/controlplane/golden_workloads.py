@@ -1,0 +1,178 @@
+"""Deterministic workloads + digests for the golden-equivalence tests.
+
+The module builds two seeded control workloads — the paper's 11-region
+deployment scale and the 22-region what-if from ``bench_scalability`` —
+and distils full control outputs (path control, capacity control,
+reaction plans) into JSON-stable digests.  Floats are stored as
+``float.hex()`` strings so equality is bit-exact, not approximate.
+
+Run ``python tests/controlplane/golden_workloads.py`` to (re)generate
+the frozen reference fixtures under ``tests/controlplane/golden/``.
+Regenerate ONLY when a deliberate behaviour change is made; the whole
+point of the fixtures is to prove refactors do not move a single bit.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.controlplane.capacity import capacity_control
+from repro.controlplane.model import ControlConfig
+from repro.controlplane.pathcontrol import PathControlResult, path_control
+from repro.controlplane.reactionplan import generate_reaction_plans
+from repro.experiments.base import standard_demand, standard_underlay
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.streams import StreamWorkload
+from repro.underlay.regions import Region, default_regions
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: The two frozen workloads: name -> builder.
+WORKLOADS: Dict[str, Callable] = {}
+
+
+def _workload(fn):
+    WORKLOADS[fn.__name__] = fn
+    return fn
+
+
+class Workload:
+    """Everything one golden scenario needs to run the control stack."""
+
+    def __init__(self, underlay, streams, now: float):
+        self.underlay = underlay
+        self.streams = streams
+        self.now = now
+        self.codes = underlay.codes
+        self.config = ControlConfig()
+        self.gateways = {c: 8 for c in underlay.codes}
+        self.fees = underlay.pricing
+
+    def state_fn(self):
+        """The scalar LinkStateFn the pre-snapshot control stack used."""
+        u, now = self.underlay, self.now
+
+        def state(a: str, b: str, t) -> Tuple[float, float]:
+            link = u.link(a, b, t)
+            return (float(link.latency_ms(now)), float(link.loss_rate(now)))
+
+        return state
+
+
+@_workload
+def paper_scale() -> Workload:
+    """Eleven regions, peak-hour demand, 8 stream chunks per pair."""
+    u = standard_underlay()
+    demand = standard_demand()
+    workload = StreamWorkload(np.random.default_rng(0),
+                              max_streams_per_pair=8)
+    now = 8 * 3600.0
+    matrix = TrafficMatrix.from_model(demand, now)
+    return Workload(u, workload.decompose(matrix), now)
+
+
+@_workload
+def double_scale() -> Workload:
+    """The 22-region what-if from ``bench_scalability``."""
+    from repro.traffic.demand import DemandModel
+    from repro.underlay.config import UnderlayConfig
+    from repro.underlay.topology import build_underlay
+
+    base = default_regions()
+    extra = [Region(r.name + " 2", r.code[:2] + "2", r.latitude + 3.0,
+                    r.longitude - 5.0, r.utc_offset, r.continent)
+             for r in base]
+    u = build_underlay(base + extra, UnderlayConfig(horizon_s=7200.0), seed=2)
+    demand = DemandModel(base + extra, seed=2)
+    workload = StreamWorkload(np.random.default_rng(0),
+                              max_streams_per_pair=2)
+    now = 3600.0
+    matrix = TrafficMatrix.from_model(demand, now)
+    return Workload(u, workload.decompose(matrix), now)
+
+
+# --------------------------------------------------------------------- digest
+def _hex(x: float) -> str:
+    return float(x).hex()
+
+
+def path_result_digest(result: PathControlResult) -> Dict:
+    """A JSON-stable, bit-exact digest of one path-control output."""
+    return {
+        "assignments": [
+            [a.stream.stream_id, a.stream.src, a.stream.dst,
+             [[h[0], h[1], h[2].value] for h in a.path.hops],
+             _hex(a.mbps), _hex(a.latency_ms), _hex(a.loss_rate),
+             bool(a.meets_constraints)]
+            for a in result.assignments],
+        "unassigned": sorted(
+            [s.stream_id, _hex(residual)]
+            for s, residual in result.unassigned),
+        "region_traffic": {c: _hex(v)
+                           for c, v in sorted(result.region_traffic.items())},
+        "internet_egress": {c: _hex(v)
+                            for c, v in sorted(result.internet_egress.items())},
+        "premium_usage": {f"{i}->{j}": _hex(v)
+                          for (i, j), v in sorted(result.premium_usage.items())},
+        "used_gateways": dict(sorted(result.used_gateways.items())),
+        "forwarding_tables": {
+            region: {str(sid): [nxt, t.value]
+                     for sid, (nxt, t) in sorted(table.items())}
+            for region, table in sorted(result.forwarding_tables.items())},
+        "graph_rebuilds": result.graph_rebuilds,
+    }
+
+
+def control_digest(wl: Workload, state) -> Dict:
+    """Run the full two-step control + reaction plans; digest everything.
+
+    `state` is whatever the control stack accepts as link state (the
+    scalar callback pre-refactor; callback or snapshot post-refactor).
+    """
+    r_cur = path_control(wl.streams, wl.codes, state, wl.config,
+                         gateways=wl.gateways, fees=wl.fees)
+    decision = capacity_control(wl.streams, wl.codes, state, wl.config,
+                                wl.gateways, r_cur, fees=wl.fees)
+    plans = generate_reaction_plans(r_cur, state,
+                                    wl.config.loss_ms_penalty)
+    return {
+        "path_control": path_result_digest(r_cur),
+        "capacity": {
+            "add": dict(sorted(decision.add.items())),
+            "remove": dict(sorted(decision.remove.items())),
+            "target": dict(sorted(decision.target.items())),
+            "uncapacitated": path_result_digest(decision.uncapacitated),
+        },
+        "reaction_plans": {
+            f"{sid}:{region}": list(plan.relay_regions)
+            for (sid, region), plan in sorted(plans.items())},
+    }
+
+
+def fixture_path(name: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def load_fixture(name: str) -> Dict:
+    return json.loads(fixture_path(name).read_text())
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, build in WORKLOADS.items():
+        wl = build()
+        digest = control_digest(wl, wl.state_fn())
+        out = fixture_path(name)
+        out.write_text(json.dumps(digest, indent=1, sort_keys=True) + "\n")
+        n_assign = len(digest["path_control"]["assignments"])
+        print(f"{out}: {n_assign} assignments, "
+              f"{digest['path_control']['graph_rebuilds']} rebuilds, "
+              f"{len(digest['reaction_plans'])} plans")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,176 @@
+"""NIB matrix snapshots and the controller's `link_snapshot`.
+
+These pin the whole-matrix paths (`latest_snapshot`, `robust_snapshot`,
+`Controller.link_snapshot`) to their scalar counterparts (`get`,
+`robust_state`, `Controller.link_state`) — exact equality per link,
+including every topology-variant mask — plus the telemetry the
+snapshot layer emits.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.controlplane.controller import Controller
+from repro.controlplane.model import ControlConfig
+from repro.controlplane.nib import LinkReport, NetworkInformationBase
+from repro.controlplane.pathcontrol import path_control
+from repro.traffic.streams import VIDEO_PROFILES, Stream
+from repro.underlay.linkstate import LinkType
+
+I, P = LinkType.INTERNET, LinkType.PREMIUM
+
+CODES = ["A", "B", "C"]
+
+
+def fill_nib(nib, t0=0.0, rounds=1, skip=()):
+    """Deterministic reports for every directed link and tier."""
+    for r in range(rounds):
+        k = 0
+        for lt in (I, P):
+            for a in CODES:
+                for b in CODES:
+                    if a == b or (a, b, lt) in skip:
+                        continue
+                    k += 1
+                    nib.update(LinkReport(
+                        a, b, lt,
+                        latency_ms=10.0 * k + 3.0 * r,
+                        loss_rate=min(0.001 * k + 0.002 * r, 1.0),
+                        reported_at=t0 + 10.0 * r))
+
+
+def links():
+    for lt in (I, P):
+        for a in CODES:
+            for b in CODES:
+                if a != b:
+                    yield a, b, lt
+
+
+class TestNibSnapshots:
+    def test_latest_snapshot_matches_get(self):
+        nib = NetworkInformationBase(window=3, codes=CODES)
+        fill_nib(nib, rounds=3)
+        snap = nib.latest_snapshot(CODES)
+        for a, b, lt in links():
+            report = nib.get(a, b, lt)
+            assert snap.lookup(a, b, lt) == (report.latency_ms,
+                                             report.loss_rate)
+
+    def test_robust_snapshot_matches_robust_state(self):
+        nib = NetworkInformationBase(window=4, codes=CODES)
+        fill_nib(nib, rounds=6)  # ring wraps: 6 reports into 4 slots
+        for pct in (50.0, 90.0, 99.0):
+            snap = nib.robust_snapshot(CODES, pct)
+            for a, b, lt in links():
+                assert snap.lookup(a, b, lt) == nib.robust_state(a, b, lt,
+                                                                 pct)
+
+    def test_partial_window_matches(self):
+        nib = NetworkInformationBase(window=8, codes=CODES)
+        fill_nib(nib, rounds=2)  # only 2 of 8 slots filled
+        snap = nib.robust_snapshot(CODES, 90.0)
+        for a, b, lt in links():
+            assert snap.lookup(a, b, lt) == nib.robust_state(a, b, lt, 90.0)
+
+    def test_never_reported_links_are_missing(self):
+        nib = NetworkInformationBase(window=2, codes=CODES)
+        fill_nib(nib, skip={("A", "B", I)})
+        snap = nib.latest_snapshot(CODES)
+        assert snap.lookup("A", "B", I) == (np.inf, 1.0)
+        robust = nib.robust_snapshot(CODES, 90.0)
+        assert robust.lookup("A", "B", I) == (np.inf, 1.0)
+
+    def test_unknown_region_in_codes(self):
+        nib = NetworkInformationBase(window=1, codes=CODES)
+        fill_nib(nib)
+        snap = nib.latest_snapshot(CODES + ["Z"])
+        assert snap.lookup("A", "Z", P) == (np.inf, 1.0)
+        assert snap.lookup("A", "B", P) == (nib.get("A", "B", P).latency_ms,
+                                            nib.get("A", "B", P).loss_rate)
+
+    def test_empty_nib_snapshot(self):
+        nib = NetworkInformationBase()
+        snap = nib.robust_snapshot(CODES)
+        assert snap.lookup("A", "B", I) == (np.inf, 1.0)
+
+    def test_grow_on_unseen_region_keeps_data(self):
+        nib = NetworkInformationBase(window=2, codes=["A"])
+        fill_nib(nib, rounds=2)  # grows to admit B and C
+        snap = nib.latest_snapshot(CODES)
+        for a, b, lt in links():
+            report = nib.get(a, b, lt)
+            assert snap.lookup(a, b, lt) == (report.latency_ms,
+                                             report.loss_rate)
+
+    def test_stale_out_of_order_report_ignored_everywhere(self):
+        nib = NetworkInformationBase(window=2, codes=CODES)
+        nib.update(LinkReport("A", "B", I, 50.0, 0.01, reported_at=100.0))
+        nib.update(LinkReport("A", "B", I, 99.0, 0.5, reported_at=90.0))
+        assert nib.get("A", "B", I).latency_ms == 50.0
+        assert nib.latest_snapshot(CODES).lookup("A", "B", I) == (50.0, 0.01)
+
+    def test_bad_percentile_rejected(self):
+        nib = NetworkInformationBase(window=2, codes=CODES)
+        fill_nib(nib, rounds=2)
+        with pytest.raises(ValueError):
+            nib.robust_snapshot(CODES, 120.0)
+
+
+class TestControllerLinkSnapshot:
+    @pytest.mark.parametrize("kwargs", [
+        {},
+        {"premium_only": True},
+        {"internet_only": True},
+        {"symmetric_only": True},
+        {"nib_window": 4, "robust_percentile": 90.0},
+        {"symmetric_only": True, "nib_window": 4, "robust_percentile": 75.0},
+    ])
+    def test_matches_scalar_link_state(self, kwargs):
+        ctrl = Controller(CODES, ControlConfig(), **kwargs)
+        # Leave one direction unreported so the symmetric variant hits
+        # its "one side missing" branch.
+        fill_nib(ctrl.nib, rounds=4, skip={("C", "A", P)})
+        snap = ctrl.link_snapshot()
+        for a, b, lt in links():
+            assert snap.lookup(a, b, lt) == ctrl.link_state(a, b, lt)
+
+
+class TestSnapshotTelemetry:
+    def test_snapshot_reuses_counter_tracks_rebuilds(self):
+        """Rebuild passes reuse the epoch snapshot instead of
+        re-evaluating link state; the counter proves it."""
+        config = ControlConfig(container_capacity_mbps=10.0,
+                               internet_bandwidth_mbps=10.0,
+                               premium_bandwidth_mbps=10.0)
+        streams = [Stream(i, "A", "B", 8.0, VIDEO_PROFILES[2])
+                   for i in range(4)]
+
+        def state(a, b, t):
+            return (40.0, 0.0)
+
+        with obs.capture() as tel:
+            result = path_control(streams, ["A", "B"], state, config,
+                                  gateways={"A": 2, "B": 2})
+            builds = [e for e in tel.events_json()
+                      if e.get("step") == "snapshot_build"]
+            reuses = tel.metrics.counter(
+                "pathcontrol.snapshot_reuses").value
+        # The scalar callback is evaluated into a snapshot exactly once…
+        assert len(builds) == 1
+        # …and every later graph build reuses it.
+        assert result.graph_rebuilds >= 1
+        assert reuses >= result.graph_rebuilds
+
+    def test_prebuilt_snapshot_means_no_build_span(self, small_underlay):
+        config = ControlConfig()
+        codes = small_underlay.codes
+        streams = [Stream(0, codes[0], codes[1], 5.0, VIDEO_PROFILES[2])]
+        snap = small_underlay.snapshot(600.0)
+        with obs.capture() as tel:
+            path_control(streams, codes, snap, config,
+                         gateways={c: 2 for c in codes})
+            builds = [e for e in tel.events_json()
+                      if e.get("step") == "snapshot_build"]
+        assert builds == []

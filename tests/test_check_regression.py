@@ -1,0 +1,102 @@
+"""The CI perf gate: distillation and regression detection."""
+
+import json
+
+import pytest
+
+from benchmarks.check_regression import GATED, main, summarise_raw
+
+
+def raw_doc(means):
+    return {
+        "machine_info": {"cpu": {"brand_raw": "TestCPU"},
+                         "python_version": "3.x", "system": "Linux"},
+        "benchmarks": [
+            {"name": name,
+             "stats": {"mean": mean, "stddev": mean / 20.0,
+                       "min": mean * 0.9, "rounds": 5}}
+            for name, mean in means.items()],
+    }
+
+
+@pytest.fixture()
+def files(tmp_path):
+    means = {name: 0.020 for name in GATED}
+    raw = tmp_path / "raw.json"
+    raw.write_text(json.dumps(raw_doc(means)))
+    summary = tmp_path / "BENCH_control.json"
+    return raw, summary, means, tmp_path
+
+
+def test_distill_then_check_passes(files, capsys):
+    raw, summary, __, __ = files
+    assert main(["distill", str(raw), "-o", str(summary)]) == 0
+    doc = json.loads(summary.read_text())
+    assert doc["machine"]["cpu"] == "TestCPU"
+    assert set(doc["current"]) == set(GATED)
+    assert main(["check", str(raw), "--reference", str(summary)]) == 0
+    assert "perf gate passed" in capsys.readouterr().out
+
+
+def test_regressed_mean_fails(files):
+    raw, summary, means, tmp_path = files
+    assert main(["distill", str(raw), "-o", str(summary)]) == 0
+    slow = dict(means)
+    slow["test_path_control_paper_scale"] *= 1.5  # > the 25% gate
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(json.dumps(raw_doc(slow)))
+    assert main(["check", str(fresh), "--reference", str(summary)]) == 1
+
+
+def test_within_gate_passes(files):
+    raw, summary, means, tmp_path = files
+    assert main(["distill", str(raw), "-o", str(summary)]) == 0
+    noisy = {name: mean * 1.10 for name, mean in means.items()}
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(json.dumps(raw_doc(noisy)))
+    assert main(["check", str(fresh), "--reference", str(summary)]) == 0
+
+
+def test_missing_benchmark_fails(files):
+    raw, summary, means, tmp_path = files
+    assert main(["distill", str(raw), "-o", str(summary)]) == 0
+    partial = {k: v for k, v in means.items()
+               if k != "test_path_control_double_scale"}
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(json.dumps(raw_doc(partial)))
+    assert main(["check", str(fresh), "--reference", str(summary)]) == 1
+
+
+def test_paper_bound_enforced(files):
+    raw, summary, means, tmp_path = files
+    assert main(["distill", str(raw), "-o", str(summary)]) == 0
+    # A 3 s mean regresses the gate *and* breaks the paper's 2 s bound;
+    # widen the gate so only the absolute bound can fail the check.
+    slow = dict(means)
+    slow["test_path_control_double_scale"] = 3.0
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(json.dumps(raw_doc(slow)))
+    assert main(["check", str(fresh), "--reference", str(summary),
+                 "--max-regression", "1000"]) == 1
+
+
+def test_baseline_carried_over(files):
+    raw, summary, __, tmp_path = files
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(raw_doc(
+        {name: 0.200 for name in GATED})))
+    assert main(["distill", str(raw), "-o", str(summary),
+                 "--baseline", str(baseline)]) == 0
+    doc = json.loads(summary.read_text())
+    assert doc["baseline_pre_refactor"][GATED[0]]["mean_s"] == 0.2
+
+    summary2 = tmp_path / "BENCH2.json"
+    assert main(["distill", str(raw), "-o", str(summary2),
+                 "--keep-baseline-from", str(summary)]) == 0
+    doc2 = json.loads(summary2.read_text())
+    assert doc2["baseline_pre_refactor"] == doc["baseline_pre_refactor"]
+
+
+def test_summarise_raw_rounding():
+    doc = raw_doc({"x": 0.123456789})
+    assert summarise_raw(doc)["x"]["mean_s"] == 0.123457

@@ -1,0 +1,160 @@
+"""`LinkStateSnapshot`: vectorised builds and batched path metrics.
+
+The contract under test is *bit-exactness*: the matrix snapshot must
+reproduce the scalar `LinkProcess` / `LinkStateFn` results down to the
+last ULP, because the golden-equivalence suite pins whole control
+outputs on it.  Every comparison here is `==`, never `pytest.approx`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.controlplane.model import (OverlayPath, path_latency_ms,
+                                      path_loss_rate)
+from repro.underlay.linkstate import LinkType
+from repro.underlay.snapshot import TYPE_INDEX, TYPE_ORDER, LinkStateSnapshot
+
+I, P = LinkType.INTERNET, LinkType.PREMIUM
+
+
+def scalar_state(underlay, now):
+    def state(a, b, t):
+        link = underlay.link(a, b, t)
+        return (float(link.latency_ms(now)), float(link.loss_rate(now)))
+    return state
+
+
+class TestFromUnderlay:
+    @pytest.mark.parametrize("now", [0.0, 3600.0, 12345.6, 6 * 3600.0])
+    def test_bit_identical_to_link_processes(self, small_underlay, now):
+        snap = small_underlay.snapshot(now)
+        codes = small_underlay.codes
+        for t in TYPE_ORDER:
+            for a in codes:
+                for b in codes:
+                    if a == b:
+                        continue
+                    link = small_underlay.link(a, b, t)
+                    ti, i, j = TYPE_INDEX[t], snap.index[a], snap.index[b]
+                    assert snap.lat[ti, i, j] == float(link.latency_ms(now))
+                    assert snap.loss[ti, i, j] == float(link.loss_rate(now))
+
+    def test_diagonal_is_missing(self, small_underlay):
+        snap = small_underlay.snapshot(100.0)
+        n = len(snap.codes)
+        for ti in range(2):
+            for i in range(n):
+                assert snap.lat[ti, i, i] == np.inf
+                assert snap.loss[ti, i, i] == 1.0
+
+    def test_beyond_horizon_raises_like_link_process(self, small_underlay):
+        beyond = small_underlay.config.horizon_s + 10.0
+        with pytest.raises(ValueError, match="horizon"):
+            small_underlay.snapshot(beyond)
+        some_link = small_underlay.link(*small_underlay.pairs[0], I)
+        with pytest.raises(ValueError, match="horizon"):
+            some_link.latency_ms(beyond)
+
+    def test_param_arrays_are_cached(self, small_underlay):
+        assert (small_underlay.link_param_arrays()
+                is small_underlay.link_param_arrays())
+
+
+class TestFromFnAndEnsure:
+    def test_from_fn_matches_callback(self, small_underlay):
+        now = 1800.0
+        state = scalar_state(small_underlay, now)
+        snap = LinkStateSnapshot.from_fn(small_underlay.codes, state, t=now)
+        for t in TYPE_ORDER:
+            for (a, b) in small_underlay.pairs:
+                assert snap.lookup(a, b, t) == state(a, b, t)
+
+    def test_ensure_passes_snapshot_through(self, small_underlay):
+        snap = small_underlay.snapshot(60.0)
+        assert LinkStateSnapshot.ensure(snap, small_underlay.codes) is snap
+
+    def test_ensure_rejects_mismatched_codes(self, small_underlay):
+        snap = small_underlay.snapshot(60.0)
+        with pytest.raises(ValueError, match="do not match"):
+            LinkStateSnapshot.ensure(snap, list(reversed(snap.codes)))
+
+    def test_ensure_wraps_callback(self, small_underlay):
+        now = 60.0
+        snap = LinkStateSnapshot.ensure(scalar_state(small_underlay, now),
+                                        small_underlay.codes)
+        assert isinstance(snap, LinkStateSnapshot)
+        a, b = small_underlay.codes[:2]
+        assert snap.lookup(a, b, P) == scalar_state(small_underlay, now)(
+            a, b, P)
+
+    def test_empty_snapshot(self):
+        snap = LinkStateSnapshot.empty(["A", "B"])
+        assert snap.lookup("A", "B", I) == (np.inf, 1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="must be"):
+            LinkStateSnapshot(["A", "B"], np.zeros((2, 3, 3)),
+                              np.zeros((2, 3, 3)))
+
+
+class TestPathMetrics:
+    @pytest.fixture(scope="class")
+    def snap_and_state(self, small_underlay):
+        now = 2400.0
+        return (small_underlay.snapshot(now),
+                scalar_state(small_underlay, now))
+
+    @pytest.fixture(scope="class")
+    def paths(self, small_underlay):
+        a, b, c, d = small_underlay.codes
+        return [
+            OverlayPath.direct(a, b, I),
+            OverlayPath.direct(b, a, P),
+            OverlayPath.via((a, c, b), P),
+            OverlayPath(((a, d, I), (d, c, P), (c, b, I))),
+            OverlayPath.via((d, b, a, c), I),
+        ]
+
+    def test_scalar_metrics_match_model_functions(self, snap_and_state,
+                                                  paths):
+        snap, state = snap_and_state
+        for path in paths:
+            assert snap.path_latency_ms(path) == path_latency_ms(path, state)
+            assert snap.path_loss_rate(path) == path_loss_rate(path, state)
+
+    def test_model_functions_dispatch_on_snapshot(self, snap_and_state,
+                                                  paths):
+        snap, state = snap_and_state
+        for path in paths:
+            assert path_latency_ms(path, snap) == path_latency_ms(path, state)
+            assert path_loss_rate(path, snap) == path_loss_rate(path, state)
+
+    def test_batched_metrics_match_scalar(self, snap_and_state, paths):
+        """Mixed-length batch: padding must not perturb a single bit."""
+        snap, __ = snap_and_state
+        lat = snap.paths_latency_ms(paths)
+        loss = snap.paths_loss_rate(paths)
+        for k, path in enumerate(paths):
+            assert lat[k] == snap.path_latency_ms(path)
+            assert loss[k] == snap.path_loss_rate(path)
+
+    def test_batched_metrics_empty(self, snap_and_state):
+        snap, __ = snap_and_state
+        assert snap.paths_latency_ms([]).shape == (0,)
+        assert snap.paths_loss_rate([]).shape == (0,)
+
+    def test_direct_latency_gather(self, snap_and_state, small_underlay):
+        snap, state = snap_and_state
+        srcs = [a for (a, b) in small_underlay.pairs]
+        dsts = [b for (a, b) in small_underlay.pairs]
+        got = snap.direct_latency(srcs, dsts, P)
+        for k, (a, b) in enumerate(small_underlay.pairs):
+            assert got[k] == state(a, b, P)[0]
+        assert snap.direct_latency([], [], P).shape == (0,)
+
+    def test_state_fn_roundtrip(self, snap_and_state):
+        snap, __ = snap_and_state
+        fn = snap.state_fn()
+        rebuilt = LinkStateSnapshot.from_fn(snap.codes, fn)
+        assert np.array_equal(rebuilt.lat, snap.lat)
+        assert np.array_equal(rebuilt.loss, snap.loss)
