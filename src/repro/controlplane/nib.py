@@ -30,8 +30,11 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import telemetry as _telemetry
 from repro.underlay.linkstate import LinkType
 from repro.underlay.snapshot import TYPE_INDEX, LinkStateSnapshot
+
+_TEL = _telemetry()
 
 
 @dataclass(frozen=True)
@@ -71,6 +74,9 @@ class NetworkInformationBase:
         self._ring_loss = np.full((2, 0, 0, self.window), np.nan)
         self._ring_count = np.zeros((2, 0, 0), dtype=np.int64)
         self._ring_pos = np.zeros((2, 0, 0), dtype=np.int64)
+        #: Fault-injection seam: a ``report -> report | None`` filter
+        #: (e.g. `FaultInjector.filter_report`).  None = no faults.
+        self.fault_filter = None
         if codes:
             self._grow(list(codes))
 
@@ -105,6 +111,23 @@ class NetworkInformationBase:
     # ------------------------------------------------------------------ api
     def update(self, report: LinkReport) -> None:
         """Ingest a monitoring report; newest timestamp wins the head."""
+        if self.fault_filter is not None:
+            filtered = self.fault_filter(report)
+            if filtered is None:
+                if _TEL.enabled:
+                    _TEL.counter("fault.reports_dropped").inc()
+                    _TEL.event("fault_report_drop", t=report.reported_at,
+                               src=report.src, dst=report.dst,
+                               link=report.link_type)
+                return
+            if filtered is not report:
+                if _TEL.enabled:
+                    _TEL.counter("fault.reports_staled").inc()
+                    _TEL.event("fault_report_stale", t=report.reported_at,
+                               src=report.src, dst=report.dst,
+                               link=report.link_type,
+                               staled_to=filtered.reported_at)
+                report = filtered
         key = (report.src, report.dst, report.link_type)
         history = self._reports.get(key)
         if history is None:

@@ -23,6 +23,8 @@ loop interplay), not day-scale statistics.
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -33,7 +35,11 @@ from repro.controlplane.model import ControlConfig
 from repro.core.config import SimulationConfig
 from repro.core.variants import VariantSpec, xron
 from repro.dataplane.cluster import RegionCluster
+from repro.dataplane.gateway import Gateway
 from repro.elastic.containers import ContainerPool
+from repro.faults import spec as fault_spec
+from repro.faults.runtime import FaultInjector, truncate_install
+from repro.faults.spec import FaultSchedule, FaultSpec
 from repro.obs import telemetry as _telemetry
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
@@ -75,6 +81,8 @@ class EventSimResult:
     detections: int
     gateway_counts: Dict[str, int]
     events_processed: int
+    #: What the fault injector actually did (None without a schedule).
+    fault_counters: Optional[Dict[str, int]] = None
 
 
 class EventDrivenXRON:
@@ -87,11 +95,18 @@ class EventDrivenXRON:
                  tracked_pairs: Optional[List[RegionPair]] = None,
                  measure_interval_s: float = 1.0,
                  passive_flush_s: float = 5.0,
-                 controller_outage: Optional[Tuple[float, float]] = None):
-        """`controller_outage` = (start_s, end_s): epochs falling inside
-        the window are skipped — gateways keep serving on stale tables
-        with only the local fast reaction, the §4.3 failure mode the
-        distributed design exists for."""
+                 controller_outage: Optional[Tuple[float, float]] = None,
+                 faults: Optional[FaultSchedule] = None):
+        """`faults` is a declarative `FaultSchedule` of timed failures
+        (gateway crashes, probe blackouts, NIB report loss/staleness,
+        delayed/partial installs, provisioning storms, controller
+        outages) injected deterministically during the run.  An empty or
+        absent schedule leaves the simulation byte-identical to a build
+        without the fault subsystem.
+
+        `controller_outage` = (start_s, end_s) is the deprecated
+        pre-schedule spelling of one controller outage; it is folded
+        into the schedule."""
         self.underlay = underlay
         self.demand = demand
         self.variant = variant if variant is not None else xron()
@@ -106,8 +121,28 @@ class EventDrivenXRON:
         self.measure_interval_s = measure_interval_s
         self.passive_flush_s = passive_flush_s
         self.controller_outage = controller_outage
+        schedule = faults if faults is not None else FaultSchedule.empty()
+        if controller_outage is not None:
+            warnings.warn(
+                "controller_outage=(start, end) is deprecated; pass "
+                "faults=FaultSchedule.of(repro.faults.controller_outage("
+                "start, end)) instead",
+                DeprecationWarning, stacklevel=2)
+            schedule = schedule.extended(fault_spec.controller_outage(
+                controller_outage[0], controller_outage[1]))
+        self.faults = schedule
         self.skipped_epochs = 0
         self._streams = RngStreams(self.sim_config.seed)
+        #: Compiled schedule the injection seams query; None when the
+        #: schedule is empty so every seam stays a single `is None` test
+        #: (the byte-identical no-faults guarantee).
+        self._injector = (FaultInjector(schedule,
+                                        rng=self._streams.get("faults"))
+                          if schedule else None)
+        #: Monotonic install sequence per region: a delayed install is
+        #: discarded when a newer one already landed.
+        self._install_seq: Dict[str, int] = {}
+        self._epoch_seq = 0
 
         self.controller = Controller(
             underlay.codes, self.control_config, pricing=underlay.pricing,
@@ -133,6 +168,12 @@ class EventDrivenXRON:
                 initial=self.sim_config.initial_gateways,
                 max_containers=self.control_config.max_containers)
             for code in underlay.codes}
+        if self._injector is not None:
+            for cluster in self.clusters.values():
+                cluster.faults = self._injector
+            self.controller.nib.fault_filter = self._injector.filter_report
+            for code, pool in self.pools.items():
+                pool.platform_load_fn = self._make_load_fn(code)
 
         if tracked_pairs is None:
             tracked_pairs = sorted(
@@ -149,6 +190,16 @@ class EventDrivenXRON:
         sim = Simulator(start_time=start_s)
         end = start_s + duration_s
         burst = self.sim_config.monitoring.burst_interval_s
+
+        # Gateway-crash windows go on the queue up front (priority -1 so
+        # a crash at an epoch instant hits before the controller acts).
+        if self._injector is not None:
+            for spec in self._injector.crash_windows():
+                if spec.end_s <= start_s:
+                    continue
+                sim.schedule_at(max(spec.start_s, start_s),
+                                lambda spec=spec: self._apply_crash(sim, spec),
+                                priority=-1)
 
         # Control epoch first (priority 0) so tables exist before the
         # first measurements; probing before measurement at equal times.
@@ -171,7 +222,9 @@ class EventDrivenXRON:
                            for c in self.clusters.values()),
             gateway_counts={code: c.size
                             for code, c in self.clusters.items()},
-            events_processed=sim.events_processed)
+            events_processed=sim.events_processed,
+            fault_counters=(self._injector.counters.as_dict()
+                            if self._injector is not None else None))
 
     # -------------------------------------------------------------- internal
     def _probe_round(self, sim: Simulator) -> None:
@@ -185,19 +238,26 @@ class EventDrivenXRON:
 
     def _control_epoch(self, sim: Simulator) -> None:
         now = sim.now
-        if (self.controller_outage is not None
-                and self.controller_outage[0] <= now
-                < self.controller_outage[1]):
+        outage = (self._injector.controller_down(now)
+                  if self._injector is not None else None)
+        if outage is not None:
             # Controller unreachable: the data plane soldiers on with the
             # last-installed tables and plans, reacting locally.
             self.skipped_epochs += 1
+            self._injector.counters.epochs_skipped += 1
             if _TEL.enabled:
                 _TEL.counter("eventsim.skipped_epochs").inc()
                 _TEL.event("controller_outage", t=now,
-                           outage_start=self.controller_outage[0],
-                           outage_end=self.controller_outage[1],
+                           outage_start=outage.start_s,
+                           outage_end=outage.end_s,
+                           skipped_epochs=self.skipped_epochs)
+                _TEL.counter("fault.epochs_skipped").inc()
+                _TEL.event("fault_controller_outage", t=now,
+                           outage_start=outage.start_s,
+                           outage_end=outage.end_s,
                            skipped_epochs=self.skipped_epochs)
             return
+        self._epoch_seq += 1
         # The very first epoch needs NIB state: run one probing round.
         if len(self.controller.nib) == 0:
             self._probe_round(sim)
@@ -225,8 +285,9 @@ class EventDrivenXRON:
         for (sid, region), plan in output.reaction_plans.items():
             plans_by_region[region][sid] = plan.relay_regions
         for code, cluster in self.clusters.items():
-            cluster.install(output.path_result.forwarding_tables[code],
-                            plans_by_region[code])
+            self._install(sim, code, cluster,
+                          output.path_result.forwarding_tables[code],
+                          plans_by_region[code])
 
         # Re-bind tracked sessions to this epoch's stream ids.
         best: Dict[RegionPair, Tuple[int, float]] = {}
@@ -244,6 +305,92 @@ class EventDrivenXRON:
                            previous_stream=self._session_stream[pair])
             self._session_stream[pair] = new_sid
 
+    def _install(self, sim: Simulator, code: str, cluster: RegionCluster,
+                 entries: Dict[int, Tuple[str, LinkType]],
+                 plans: Dict[int, Tuple[str, ...]]) -> None:
+        """Push one region's controller update, applying install faults."""
+        now = sim.now
+        if self._injector is not None:
+            keep = self._injector.install_keep_fraction(code, now)
+            if keep < 1.0:
+                # Partial install: only the first `keep` fraction of the
+                # update's rows (by stream id) lands; rows beyond the cut
+                # keep their previously installed value — the stream
+                # rides a stale table row, it does not vanish.  Streams
+                # absent from the new table are still withdrawn.
+                kept = truncate_install(entries, keep)
+                stale_entries = cluster.current_entries()
+                stale_plans = cluster.current_plans()
+                lost = [sid for sid in entries if sid not in kept]
+                merged = dict(kept)
+                merged_plans = {sid: plan for sid, plan in plans.items()
+                                if sid in kept}
+                for sid in lost:
+                    if sid in stale_entries:
+                        merged[sid] = stale_entries[sid]
+                    if sid in stale_plans:
+                        merged_plans[sid] = stale_plans[sid]
+                entries, plans = merged, merged_plans
+                self._injector.counters.installs_truncated += 1
+                if _TEL.enabled:
+                    _TEL.counter("fault.installs_truncated").inc()
+                    _TEL.event("fault_install_partial", t=now, region=code,
+                               fresh=len(kept), stale=len(entries) - len(kept),
+                               keep_fraction=keep)
+            delay = self._injector.install_delay(code, now)
+            if delay > 0.0:
+                self._injector.counters.installs_delayed += 1
+                if _TEL.enabled:
+                    _TEL.counter("fault.installs_delayed").inc()
+                    _TEL.event("fault_install_delayed", t=now, region=code,
+                               delay_s=delay)
+                sim.schedule(
+                    delay,
+                    lambda seq=self._epoch_seq: self._late_install(
+                        code, cluster, entries, plans, seq),
+                    priority=0)
+                return
+        self._install_seq[code] = self._epoch_seq
+        cluster.install(entries, plans)
+
+    def _late_install(self, code: str, cluster: RegionCluster,
+                      entries: Dict[int, Tuple[str, LinkType]],
+                      plans: Dict[int, Tuple[str, ...]], seq: int) -> None:
+        """Apply a delayed install unless a newer one already landed."""
+        if self._install_seq.get(code, 0) > seq:
+            return
+        self._install_seq[code] = seq
+        cluster.install(entries, plans)
+
+    def _make_load_fn(self, code: str):
+        """Per-region provisioning-storm hook for a `ContainerPool`."""
+        injector = self._injector
+
+        def load(now: float) -> float:
+            value = injector.platform_load(code, now)
+            if value > 1.0:
+                injector.counters.load_spikes_applied += 1
+            return value
+        return load
+
+    def _apply_crash(self, sim: Simulator, spec: FaultSpec) -> None:
+        """Fire one gateway-crash window (and queue its restarts)."""
+        codes = ([spec.region] if spec.region is not None
+                 else sorted(self.clusters))
+        for code in codes:
+            victims = self.clusters[code].crash_gateways(spec.count, sim.now)
+            self._injector.counters.gateways_crashed += len(victims)
+            if victims and spec.restart and math.isfinite(spec.end_s):
+                sim.schedule_at(
+                    max(spec.end_s, sim.now),
+                    lambda code=code, n=len(victims): self._apply_restart(
+                        sim, code, n),
+                    priority=-1)
+
+    def _apply_restart(self, sim: Simulator, code: str, count: int) -> None:
+        started = self.clusters[code].restore_gateways(count, sim.now)
+        self._injector.counters.gateways_restarted += len(started)
+
     def _measure(self, sim: Simulator) -> None:
         now = sim.now
         rng = self._streams.get("eventsim.measure")
@@ -257,7 +404,7 @@ class EventDrivenXRON:
             latency = 0.0
             survive = 1.0
             on_backup = False
-            for (a, b, lt, via_backup) in hops:
+            for (a, b, lt, via_backup, gateway) in hops:
                 link = self.underlay.link(a, b, lt)
                 hop_lat = float(link.latency_ms(now))
                 hop_loss = float(link.loss_rate(now))
@@ -265,13 +412,12 @@ class EventDrivenXRON:
                 survive *= 1.0 - hop_loss
                 on_backup = on_backup or via_backup
                 # Passive tracking: account the session's packets on the
-                # forwarding gateway's cluster.
+                # gateway that actually made the forwarding decision
+                # (round robin), not an arbitrary cluster sibling.
                 lost = int(rng.binomial(_PACKETS_PER_TICK,
                                         min(hop_loss, 1.0)))
-                for gateway in self.clusters[a].gateways.values():
-                    gateway.passive.record((a, b, lt), _PACKETS_PER_TICK,
-                                           lost, hop_lat)
-                    break  # the forwarding gateway only
+                gateway.passive.record((a, b, lt), _PACKETS_PER_TICK,
+                                       lost, hop_lat)
             record.times.append(now)
             record.latency_ms.append(latency)
             record.loss_rate.append(1.0 - survive)
@@ -280,18 +426,23 @@ class EventDrivenXRON:
 
     def _walk(self, pair: RegionPair, stream_id: int,
               now: Optional[float] = None
-              ) -> Optional[List[Tuple[str, str, LinkType, bool]]]:
-        """Follow the live forwarding decisions from source to destination."""
+              ) -> Optional[List[Tuple[str, str, LinkType, bool, Gateway]]]:
+        """Follow the live forwarding decisions from source to destination.
+
+        Each hop records the gateway that made the `ForwardDecision`, so
+        measurement can book passive samples on the right container.
+        """
         src, dst = pair
-        hops: List[Tuple[str, str, LinkType, bool]] = []
+        hops: List[Tuple[str, str, LinkType, bool, Gateway]] = []
         current = src
         for __ in range(8):  # generous loop guard
             if current == dst:
                 return hops
-            decision = self.clusters[current].forward(stream_id, now)
-            if decision is None:
+            resolved = self.clusters[current].resolve(stream_id, now)
+            if resolved is None:
                 return None
+            gateway, decision = resolved
             hops.append((current, decision.next_hop, decision.link_type,
-                         decision.via_backup))
+                         decision.via_backup, gateway))
             current = decision.next_hop
         return None  # routing loop: drop the sample

@@ -46,6 +46,8 @@ class RegionCluster:
         self._next_gateway_id = 0
         self.gateways: Dict[int, Gateway] = {}
         self._rr_index = 0
+        #: Fault-injection seam: a `repro.faults.FaultInjector` (or None).
+        self.faults = None
         for __ in range(initial_gateways):
             self._add_gateway()
 
@@ -60,6 +62,17 @@ class RegionCluster:
         self.gateways[gid] = gateway
         return gateway
 
+    def _clone_from_sibling(self, gateway: Gateway) -> None:
+        """Seed a fresh gateway with a sibling's tables AND reaction
+        plans, so it can fast-react before the next control epoch."""
+        sibling = next(iter(self.gateways.values()))
+        if sibling is gateway:
+            return
+        gateway.install_tables(
+            {e.stream_id: (e.next_hop, e.link_type)
+             for e in sibling.table.entries()},
+            sibling.reaction_plans())
+
     def scale_to(self, target: int) -> None:
         """Event-mode scaling: adjust the gateway count immediately.
 
@@ -70,16 +83,49 @@ class RegionCluster:
             raise ValueError("cannot scale a cluster below one gateway")
         while len(self.gateways) < target:
             gateway = self._add_gateway()
-            # New gateways inherit the current tables of a sibling.
-            sibling = next(iter(self.gateways.values()))
-            if sibling is not gateway:
-                gateway.table.install(
-                    {e.stream_id: (e.next_hop, e.link_type)
-                     for e in sibling.table.entries()})
+            self._clone_from_sibling(gateway)
         while len(self.gateways) > target:
             # Remove the newest gateways first (stable representatives).
             victim = max(self.gateways)
             del self.gateways[victim]
+
+    def crash_gateways(self, count: int, now: Optional[float] = None
+                       ) -> List[int]:
+        """Fault injection: `count` gateways fail abruptly.
+
+        The *lowest* ids die first — those are the stable probing
+        representatives, so a crash also wipes the freshest monitoring
+        state (the harshest realistic case).  At least one gateway
+        always survives; the crashed ids are returned so the injector
+        can restart as many later.
+        """
+        victims = sorted(self.gateways)[:max(0, min(count,
+                                                    len(self.gateways) - 1))]
+        for gid in victims:
+            del self.gateways[gid]
+        if victims and _TEL.enabled:
+            _TEL.counter("fault.gateways_crashed").inc(len(victims))
+            _TEL.event("fault_gateway_crash", t=now, region=self.region,
+                       gateways=victims, survivors=len(self.gateways))
+        return victims
+
+    def restore_gateways(self, count: int, now: Optional[float] = None
+                         ) -> List[int]:
+        """Fault injection: start `count` replacement gateways.
+
+        Replacements are fresh containers (new ids, cold estimators)
+        seeded with a surviving sibling's tables and reaction plans —
+        the same inheritance path scale-up uses."""
+        started = []
+        for __ in range(count):
+            gateway = self._add_gateway()
+            self._clone_from_sibling(gateway)
+            started.append(gateway.gateway_id)
+        if started and _TEL.enabled:
+            _TEL.counter("fault.gateways_restarted").inc(len(started))
+            _TEL.event("fault_gateway_restart", t=now, region=self.region,
+                       gateways=started, fleet=len(self.gateways))
+        return started
 
     @property
     def size(self) -> int:
@@ -99,14 +145,28 @@ class RegionCluster:
         returned for the controller's NIB.
         """
         reps = self.representatives()
+        blackout = None
+        if self.faults is not None:
+            faults = self.faults
+
+            def blackout(dst: str, lt: LinkType) -> bool:
+                return faults.probe_blackout(self.region, dst, lt, now)
         for rep in reps:
-            rep.probe_all(now)
+            rep.probe_all(now, blackout=blackout)
         reports: List[LinkReport] = []
         degraded_links = 0
+        blacked_out = 0
         for dst in self.underlay.codes:
             if dst == self.region:
                 continue
             for lt in (LinkType.INTERNET, LinkType.PREMIUM):
+                if blackout is not None and blackout(dst, lt):
+                    # Blind spot: no group state, no NIB report — the
+                    # controller sees this link age into staleness.
+                    blacked_out += 1
+                    if self.faults is not None:
+                        self.faults.counters.probes_blacked_out += 1
+                    continue
                 estimates = [rep.estimator(dst, lt).estimate()
                              for rep in reps]
                 report = self._grouping.aggregate(self.region, dst, lt,
@@ -127,6 +187,9 @@ class RegionCluster:
             _TEL.event("probe_round", t=now, region=self.region,
                        representatives=len(reps), reports=len(reports),
                        degraded_links=degraded_links)
+            if blacked_out:
+                _TEL.event("fault_probe_blackout", t=now,
+                           region=self.region, links=blacked_out)
         return reports
 
     def flush_passive(self, now: float) -> None:
@@ -140,15 +203,41 @@ class RegionCluster:
         for gateway in self.gateways.values():
             gateway.install_tables(entries, plans)
 
+    def current_entries(self) -> Dict[int, Tuple[str, LinkType]]:
+        """The installed forwarding entries (uniform across gateways)."""
+        if not self.gateways:
+            return {}
+        gateway = next(iter(self.gateways.values()))
+        return {e.stream_id: (e.next_hop, e.link_type)
+                for e in gateway.table.entries()}
+
+    def current_plans(self) -> Dict[int, Tuple[str, ...]]:
+        """The installed reaction plans (uniform across gateways)."""
+        if not self.gateways:
+            return {}
+        return next(iter(self.gateways.values())).reaction_plans()
+
     def forward(self, stream_id: int,
                 now: Optional[float] = None) -> Optional[ForwardDecision]:
         """Resolve a stream via one of the gateways (round robin)."""
+        resolved = self.resolve(stream_id, now)
+        return resolved[1] if resolved is not None else None
+
+    def resolve(self, stream_id: int, now: Optional[float] = None
+                ) -> Optional[Tuple[Gateway, ForwardDecision]]:
+        """Like `forward`, but also says WHICH gateway decided.
+
+        The event simulator needs the deciding gateway so passive
+        samples land on the container that actually carried the packets
+        (not an arbitrary sibling)."""
         if not self.gateways:
             return None
         ids = sorted(self.gateways)
         gid = ids[self._rr_index % len(ids)]
         self._rr_index += 1
-        return self.gateways[gid].forward(stream_id, now)
+        gateway = self.gateways[gid]
+        decision = gateway.forward(stream_id, now)
+        return None if decision is None else (gateway, decision)
 
     # ------------------------------------------------------------ telemetry
     def probe_bytes(self) -> int:

@@ -9,8 +9,10 @@ independent streams over direction-specific link states.
 a time window: at instants where the gateway at some on-path region has
 flagged its outgoing link degraded, traffic follows that region's
 pre-computed premium backup plan instead of the rest of the normal path
-(§4.3).  The first degraded hop along the path wins — upstream gateways
-switch before downstream ones ever see the traffic.
+(§4.3).  The first degraded hop *with a backup plan* wins — upstream
+gateways switch before downstream ones ever see the traffic, but a
+degraded hop that has no plan keeps forwarding normally, so downstream
+regions still receive the traffic and may react themselves.
 """
 
 from __future__ import annotations
@@ -95,11 +97,13 @@ def effective_path_series(path: OverlayPath, times: np.ndarray,
                           enable_reaction: bool = True) -> EffectiveSeries:
     """Evaluate a stream's end-to-end latency/loss over `times`.
 
-    With reaction enabled, scenario k means "hops before k are healthy,
-    hop k is degraded": traffic follows hops[:k] then the backup plan of
-    hop k's source region (all premium).  Scenario 'none' is the normal
-    path.  With at most a few hops per path the scenario set is tiny and
-    everything vectorises over the time grid.
+    With reaction enabled, scenario k means "hop k is the first degraded
+    hop whose region can react": traffic follows hops[:k] then the
+    backup plan of hop k's source region (all premium).  Degraded hops
+    without a plan keep forwarding on the normal path, so downstream
+    scenarios still fire.  Scenario 'none' is the normal path.  With at
+    most a few hops per path the scenario set is tiny and everything
+    vectorises over the time grid.
     """
     times = np.asarray(times, dtype=float)
     hop_lat: List[np.ndarray] = []
@@ -126,10 +130,12 @@ def effective_path_series(path: OverlayPath, times: np.ndarray,
     taken = np.zeros(times.size, dtype=bool)
 
     for k, hop in enumerate(path.hops):
-        # Scenario k fires where hop k is the FIRST degraded hop.
+        # Scenario k fires where hop k is degraded and no earlier hop
+        # has already switched the traffic away (`taken`).  A degraded
+        # earlier hop WITHOUT a backup plan must not mask us: its
+        # traffic still flows through and reaches this region, whose
+        # gateway reacts on its own plan.
         fires = active[k] & ~taken
-        for earlier in range(k):
-            fires &= ~active[earlier]
         if not np.any(fires):
             continue
         region = hop[0]

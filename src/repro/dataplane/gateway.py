@@ -71,11 +71,22 @@ class Gateway:
                     self.monitoring_config, self.reaction_config)
 
     # ------------------------------------------------------------ monitoring
-    def probe_all(self, now: float) -> List[ProbeBurst]:
-        """One probing round over all adjacent links (both types)."""
+    def probe_all(self, now: float,
+                  blackout=None) -> List[ProbeBurst]:
+        """One probing round over all adjacent links (both types).
+
+        `blackout`, if given, is a ``(dst, link_type) -> bool`` predicate
+        (a fault-injection seam): links it flags send no probes at all,
+        so their estimators keep aging on stale state — the gateway is
+        blind there, exactly as during a real probing outage.
+        """
         bursts = []
         for key, prober in sorted(self._probers.items(),
                                   key=lambda kv: (kv[0][0], kv[0][1].value)):
+            if blackout is not None and blackout(*key):
+                if _TEL.enabled:
+                    _TEL.counter("fault.probes_blacked_out").inc()
+                continue
             burst = prober.probe(now)
             self._estimators[key].ingest_burst(burst)
             bursts.append(burst)
@@ -102,6 +113,10 @@ class Gateway:
         """Apply a controller update: forwarding entries + reaction plans."""
         self.table.install(entries)
         self._plans = dict(plans)
+
+    def reaction_plans(self) -> Dict[int, Tuple[str, ...]]:
+        """A copy of the installed reaction plans (stream -> relays)."""
+        return dict(self._plans)
 
     def forward(self, stream_id: int,
                 now: Optional[float] = None) -> Optional[ForwardDecision]:

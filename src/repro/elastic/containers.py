@@ -17,6 +17,10 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import telemetry as _telemetry
+
+_TEL = _telemetry()
+
 
 @dataclass
 class ProvisioningDelayModel:
@@ -83,6 +87,10 @@ class ContainerPool:
         self._container_seconds = 0.0
         self._last_accounted = 0.0
         self.actions: List[ScalingAction] = []
+        #: Fault-injection seam: ``now -> load factor`` (a provisioning
+        #: storm, §2.3).  The effective load of a scale-up is the max of
+        #: the caller's `platform_load` and this.  None = no faults.
+        self.platform_load_fn = None
 
     # ------------------------------------------------------------------ api
     def ready_count(self, now: float) -> int:
@@ -112,6 +120,15 @@ class ContainerPool:
         added = removed = 0
         if target > current:
             added = target - current
+            if self.platform_load_fn is not None:
+                fault_load = float(self.platform_load_fn(now))
+                if fault_load > platform_load:
+                    platform_load = fault_load
+                    if _TEL.enabled:
+                        _TEL.counter("fault.load_spikes").inc()
+                        _TEL.event("fault_platform_load", t=now,
+                                   region=self.region, load=platform_load,
+                                   starts=added)
             for __ in range(added):
                 delay = self._delay_model.sample(self._rng, platform_load)
                 self._inflight.append(now + delay)

@@ -1,0 +1,241 @@
+"""Extra experiment: fast reaction under injected faults (§4.3 + §6.3).
+
+`reaction_latency` established the baseline: a clean deployment handles
+an injected link degradation within seconds.  This experiment re-runs
+that measurement under each class of the `repro.faults` taxonomy and
+reports, per fault class, how many degradations were still handled and
+the detection→failover→failback timing — the §6.3 claim that the data
+plane keeps its seconds-scale reaction while the control plane is
+crashing, blind, stale, or slow:
+
+* during a **controller outage** the local loop is the only loop, so
+  handling must match the baseline;
+* after a **gateway crash** the surviving (and restarted) gateways
+  inherit tables *and* reaction plans and keep reacting;
+* with NIB **report drops** the controller is blind but gateways are
+  not: local reaction is unaffected (the paper's separation argument);
+* a **probing blackout** on the degraded link removes the detection
+  signal itself — events during the blackout go unhandled, which is the
+  measured cost of losing monitoring rather than control;
+* **delayed/partial installs** and a **provisioning storm** degrade the
+  control plane's push path; reaction rides pre-installed plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import SimulationConfig
+from repro.core.eventsim import EventDrivenXRON
+from repro.core.variants import VariantSpec, xron
+from repro.experiments.base import format_table
+from repro.faults import (FaultSchedule, gateway_crash, install_delay,
+                          install_partial, platform_load, probe_blackout,
+                          report_drop)
+from repro.faults import controller_outage as outage_spec
+from repro.traffic.demand import DemandModel
+from repro.underlay.config import UnderlayConfig
+from repro.underlay.events import DegradationEvent
+from repro.underlay.linkstate import LinkType
+from repro.underlay.regions import default_regions
+from repro.underlay.scenarios import inject_events, quiet_link
+from repro.underlay.topology import build_underlay
+
+
+@dataclass
+class ChaosScenario:
+    """Reaction timing for one fault class."""
+
+    name: str
+    injected: int
+    handled: int
+    #: Onset-to-backup delay per handled event, seconds.
+    failover_s: np.ndarray
+    #: Recovery-to-normal delay per handled event, seconds.
+    failback_s: np.ndarray
+    #: What the injector actually did (None for the fault-free baseline).
+    fault_counters: Optional[Dict[str, int]]
+
+    @property
+    def handled_rate(self) -> float:
+        return self.handled / self.injected if self.injected else 0.0
+
+    @property
+    def mean_failover_s(self) -> float:
+        return float(self.failover_s.mean()) if self.failover_s.size else 0.0
+
+    @property
+    def mean_failback_s(self) -> float:
+        return float(self.failback_s.mean()) if self.failback_s.size else 0.0
+
+    @property
+    def fault_injections(self) -> int:
+        return (sum(self.fault_counters.values())
+                if self.fault_counters else 0)
+
+
+@dataclass
+class ChaosReaction:
+    """All fault-class scenarios side by side."""
+
+    scenarios: List[ChaosScenario]
+
+    def scenario(self, name: str) -> ChaosScenario:
+        for s in self.scenarios:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def lines(self) -> List[str]:
+        rows = []
+        for s in self.scenarios:
+            rows.append([
+                s.name, s.injected, s.handled,
+                round(s.mean_failover_s, 2), round(s.mean_failback_s, 2),
+                s.fault_injections,
+            ])
+        lines = format_table(
+            ["fault class", "events", "handled", "mean failover (s)",
+             "mean failback (s)", "fault injections"],
+            rows,
+            title="Chaos reaction — §6.3's seconds-scale local loop "
+                  "under injected faults")
+        lines.append("")
+        lines.append("the local loop must hold its shape under every "
+                     "fault the controller cannot see in time; only the "
+                     "probing blackout removes the detection signal "
+                     "itself")
+        return lines
+
+
+def _build_quiet(seed: int):
+    """The reaction-latency testbed: calm 3-region underlay + demand."""
+    by_code = {r.code: r for r in default_regions()}
+    regions = [by_code[c] for c in ("HGH", "SIN", "FRA")]
+    config = UnderlayConfig(horizon_s=7200.0)
+    config.internet.base_loss_min = 1e-6
+    config.internet.base_loss_max = 1e-5
+    config.internet.diurnal_loss_amp = 0.0
+    for tier in (config.internet, config.premium):
+        tier.short_events_per_day = 0.0
+        tier.long_events_per_day = 0.0
+    underlay = build_underlay(regions, config, seed=seed)
+    for (a, b) in underlay.pairs:
+        for lt in (LinkType.INTERNET, LinkType.PREMIUM):
+            quiet_link(underlay, a, b, lt)
+    demand = DemandModel(regions, seed=seed)
+    return underlay, demand
+
+
+def _run_scenario(name: str, schedule: FaultSchedule, n_events: int,
+                  seed: int, event_spacing_s: float, event_duration_s: float,
+                  measure_interval_s: float,
+                  variant: Optional[VariantSpec] = None,
+                  demand_scale: float = 0.05,
+                  initial_gateways: int = 4) -> ChaosScenario:
+    """One fault class: inject degradations, measure reaction timing."""
+    underlay, demand = _build_quiet(seed)
+    pair = max(demand.pairs, key=lambda p: demand.pair_scale(*p))
+    start = 3600.0
+    onsets = [start + 30.0 + k * event_spacing_s for k in range(n_events)]
+    inject_events(underlay, pair[0], pair[1], LinkType.INTERNET,
+                  [DegradationEvent(t, event_duration_s, 4000.0, 0.3)
+                   for t in onsets])
+
+    system = EventDrivenXRON(
+        underlay, demand, variant=variant,
+        sim_config=SimulationConfig(epoch_s=60.0, eval_step_s=60.0,
+                                    seed=seed, demand_scale=demand_scale,
+                                    initial_gateways=initial_gateways),
+        tracked_pairs=[pair], measure_interval_s=measure_interval_s,
+        faults=schedule)
+    duration = 30.0 + n_events * event_spacing_s + 60.0
+    result = system.run(start, duration)
+    record = result.sessions[pair]
+    times = np.asarray(record.times)
+    on_backup = np.asarray(record.on_backup, dtype=bool)
+
+    failovers, failbacks = [], []
+    for onset in onsets:
+        end = onset + event_duration_s
+        window = (times >= onset) & (times < onset + event_spacing_s * 0.9)
+        hits = times[window][on_backup[window]]
+        if hits.size == 0:
+            continue
+        failovers.append(float(hits[0] - onset))
+        after = (times >= end) & (times < end + event_spacing_s * 0.9)
+        clear = times[after][~on_backup[after]]
+        if clear.size:
+            failbacks.append(float(clear[0] - end))
+    return ChaosScenario(name, n_events, len(failovers),
+                         np.array(failovers), np.array(failbacks),
+                         result.fault_counters)
+
+
+def _schedules(n_events: int, event_spacing_s: float,
+               event_duration_s: float,
+               src: str) -> List[Tuple[str, FaultSchedule]]:
+    """One schedule per fault class, aligned with the degradation train."""
+    start = 3600.0
+    first = start + 30.0
+    horizon = 30.0 + n_events * event_spacing_s + 60.0
+    return [
+        ("baseline", FaultSchedule.empty()),
+        ("controller-outage", FaultSchedule.of(
+            outage_spec(start + 1.0, start + horizon))),
+        ("gateway-crash", FaultSchedule.of(
+            gateway_crash(first - 10.0, horizon - 60.0, region=src,
+                          count=1))),
+        ("probe-blackout", FaultSchedule.of(
+            probe_blackout(first - 10.0,
+                           event_spacing_s * max(1, n_events // 2),
+                           region=src))),
+        ("report-drop", FaultSchedule.of(
+            # Starts one second AFTER the first epoch so tables exist;
+            # from then on the controller is blind while the data plane
+            # keeps reacting locally.
+            report_drop(start + 1.0, horizon, region=src))),
+        ("install-chaos", FaultSchedule.of(
+            # Like report-drop, spare the bootstrap install: a partial
+            # FIRST install has no stale rows to ride, which would model
+            # a dead region rather than a degraded push path.
+            install_delay(start + 1.0, horizon, delay_s=20.0, region=src),
+            install_partial(start + 1.0, horizon, keep_fraction=0.5))),
+        ("provision-storm", FaultSchedule.of(
+            platform_load(start, horizon, load=8.0))),
+    ]
+
+
+def run(n_events: int = 4, seed: int = 17, event_spacing_s: float = 60.0,
+        event_duration_s: float = 25.0, measure_interval_s: float = 0.5
+        ) -> ChaosReaction:
+    """Measure reaction timing under each fault class.
+
+    Every scenario replays the *same* degradation train (same seed, same
+    underlay build) under a different `FaultSchedule`, so rows differ
+    only by the injected fault.  Elastic capacity control is frozen for
+    every row except ``provision-storm`` — with the tiny tracked demand
+    it would scale clusters to a single gateway, leaving the crash
+    injector nothing to kill; the storm row keeps it on (that is the
+    fault being measured) and starts under-provisioned so the epoch loop
+    must actually request containers through the inflated platform.
+    """
+    __, demand = _build_quiet(seed)
+    pair = max(demand.pairs, key=lambda p: demand.pair_scale(*p))
+    frozen = replace(xron(), elastic=False)
+    scenarios = []
+    for name, schedule in _schedules(n_events, event_spacing_s,
+                                     event_duration_s, pair[0]):
+        if name == "provision-storm":
+            scenarios.append(_run_scenario(
+                name, schedule, n_events, seed, event_spacing_s,
+                event_duration_s, measure_interval_s, variant=xron(),
+                demand_scale=0.6, initial_gateways=1))
+        else:
+            scenarios.append(_run_scenario(
+                name, schedule, n_events, seed, event_spacing_s,
+                event_duration_s, measure_interval_s, variant=frozen))
+    return ChaosReaction(scenarios)

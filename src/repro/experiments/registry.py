@@ -131,6 +131,10 @@ _REGISTRY: List[ExperimentSpec] = [
                    quick_kwargs={"n_events": 8},
                    full_kwargs={"n_events": 20},
                    tags=("evaluation", "network", "fast")),
+    ExperimentSpec("chaos-reaction", _EXP + "chaos_reaction",
+                   quick_kwargs={"n_events": 2},
+                   full_kwargs={"n_events": 6},
+                   tags=("evaluation", "robustness", "fast")),
 ]
 
 _BY_NAME: Dict[str, ExperimentSpec] = {s.name: s for s in _REGISTRY}

@@ -1,0 +1,157 @@
+"""The fault injector: a compiled `FaultSchedule` answering point queries.
+
+`FaultInjector` is what the data-plane seams actually talk to.  It keeps
+the schedule's specs bucketed by kind so per-call matching is a short
+linear scan (schedules hold dozens of specs at most), owns the *only*
+RNG the fault subsystem ever draws from (a dedicated named stream, so
+probabilistic drops never perturb any other subsystem's randomness), and
+counts what it injected so experiments can report fault pressure next to
+reaction timings.
+
+The injector is deliberately passive: it never schedules anything
+itself.  The event simulator asks it for the crash windows to put on the
+event queue and consults it at each seam; a seam that gets `None`
+instead of an injector costs one attribute check — which is what keeps
+an empty schedule byte-identical to no fault subsystem at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.controlplane.nib import LinkReport
+from repro.faults.spec import FaultKind, FaultSchedule, FaultSpec
+from repro.underlay.linkstate import LinkType
+
+
+@dataclass
+class FaultCounters:
+    """What the injector actually did (not what was merely scheduled)."""
+
+    gateways_crashed: int = 0
+    gateways_restarted: int = 0
+    probes_blacked_out: int = 0
+    reports_dropped: int = 0
+    reports_staled: int = 0
+    installs_delayed: int = 0
+    installs_truncated: int = 0
+    load_spikes_applied: int = 0
+    epochs_skipped: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+    def total(self) -> int:
+        return sum(self.__dict__.values())
+
+
+class FaultInjector:
+    """Point-query API over a fault schedule (see module docstring)."""
+
+    def __init__(self, schedule: FaultSchedule,
+                 rng: Optional[np.random.Generator] = None):
+        self.schedule = schedule
+        self._rng = rng
+        self._by_kind: Dict[FaultKind, List[FaultSpec]] = {
+            kind: schedule.by_kind(kind) for kind in FaultKind}
+        self.counters = FaultCounters()
+
+    # ------------------------------------------------------------- controller
+    def controller_down(self, now: float) -> Optional[FaultSpec]:
+        """The outage spec covering `now`, if any (first by start time)."""
+        for spec in self._by_kind[FaultKind.CONTROLLER_OUTAGE]:
+            if spec.active(now):
+                return spec
+        return None
+
+    # --------------------------------------------------------------- probing
+    def probe_blackout(self, src: str, dst: str, link_type: LinkType,
+                       now: float) -> bool:
+        """Whether active probing of this directed link is blacked out."""
+        for spec in self._by_kind[FaultKind.PROBE_BLACKOUT]:
+            if spec.active(now) and spec.matches_link(src, dst, link_type):
+                return True
+        return False
+
+    def region_blackout(self, region: str, now: float) -> bool:
+        """Whether a region-wide (dst-less) blackout covers `region`."""
+        for spec in self._by_kind[FaultKind.PROBE_BLACKOUT]:
+            if (spec.active(now) and spec.matches_region(region)
+                    and spec.dst is None and spec.link_type is None):
+                return True
+        return False
+
+    # ----------------------------------------------------------- NIB reports
+    def filter_report(self, report: LinkReport) -> Optional[LinkReport]:
+        """Apply drop/staleness faults to one monitoring report.
+
+        Returns None when the report is lost, a timestamp-shifted copy
+        when a staleness fault matches, and the original object when no
+        fault applies (identity is the no-fault signal the NIB seam
+        uses to emit telemetry only for touched reports).
+        """
+        now = report.reported_at
+        for spec in self._by_kind[FaultKind.REPORT_DROP]:
+            if spec.active(now) and spec.matches_link(
+                    report.src, report.dst, report.link_type):
+                if spec.probability >= 1.0 or (
+                        self._rng is not None
+                        and self._rng.random() < spec.probability):
+                    self.counters.reports_dropped += 1
+                    return None
+        for spec in self._by_kind[FaultKind.REPORT_STALENESS]:
+            if spec.active(now) and spec.matches_link(
+                    report.src, report.dst, report.link_type):
+                self.counters.reports_staled += 1
+                return replace(report, reported_at=max(
+                    0.0, report.reported_at - spec.staleness_s))
+        return report
+
+    # -------------------------------------------------------------- installs
+    def install_delay(self, region: str, now: float) -> float:
+        """How late this epoch's install lands in `region` (0 = on time)."""
+        delay = 0.0
+        for spec in self._by_kind[FaultKind.INSTALL_DELAY]:
+            if spec.active(now) and spec.matches_region(region):
+                delay = max(delay, spec.delay_s)
+        return delay
+
+    def install_keep_fraction(self, region: str, now: float) -> float:
+        """Fraction of the install that survives (1.0 = complete)."""
+        keep = 1.0
+        for spec in self._by_kind[FaultKind.INSTALL_PARTIAL]:
+            if spec.active(now) and spec.matches_region(region):
+                keep = min(keep, spec.keep_fraction)
+        return keep
+
+    # ---------------------------------------------------------- provisioning
+    def platform_load(self, region: str, now: float) -> float:
+        """The provisioning-storm load factor for `region` (>= 1)."""
+        load = 1.0
+        for spec in self._by_kind[FaultKind.PLATFORM_LOAD]:
+            if spec.active(now) and spec.matches_region(region):
+                load = max(load, spec.load)
+        return load
+
+    # -------------------------------------------------------------- gateways
+    def crash_windows(self) -> List[FaultSpec]:
+        """Gateway-crash specs, for the simulator to put on its queue."""
+        return list(self._by_kind[FaultKind.GATEWAY_CRASH])
+
+
+def truncate_install(entries: Dict[int, Tuple[str, LinkType]],
+                     keep_fraction: float
+                     ) -> Dict[int, Tuple[str, LinkType]]:
+    """Deterministically keep the first `keep_fraction` of an install.
+
+    Entries are ordered by stream id, so which streams lose their rows
+    depends only on the table content — never on dict order or RNG.
+    """
+    keep = int(len(entries) * keep_fraction)
+    return {sid: entries[sid] for sid in sorted(entries)[:keep]}
+
+
+__all__ = ["FaultCounters", "FaultInjector", "truncate_install"]

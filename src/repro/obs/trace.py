@@ -31,6 +31,17 @@ KINDS = (
     "algo_step",          # a timed step inside the control loop
     "autoscale",          # a capacity decision (predicted vs actual)
     "controller_outage",  # an epoch skipped because the controller is down
+    # Fault-injection seams (`repro.faults`); emitted only when a
+    # schedule is active, so fault-free runs never carry these.
+    "fault_gateway_crash",      # injected crash removed gateways
+    "fault_gateway_restart",    # replacements came back after a crash
+    "fault_probe_blackout",     # links skipped by a probing blackout
+    "fault_report_drop",        # a NIB link report was discarded
+    "fault_report_stale",       # a NIB report was aged before delivery
+    "fault_install_delayed",    # a controller install left the push queue late
+    "fault_install_partial",    # an install landed truncated (stale rows ride)
+    "fault_platform_load",      # a provisioning storm inflated startup delays
+    "fault_controller_outage",  # schedule-driven outage skipped an epoch
 )
 
 

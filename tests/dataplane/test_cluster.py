@@ -66,6 +66,35 @@ class TestFleet:
         with pytest.raises(ValueError):
             RegionCluster("HGH", underlay, initial_gateways=0)
 
+    def test_new_gateways_inherit_reaction_plans(self, cluster):
+        """Regression: scale-up must copy the sibling's reaction plans,
+        not only its forwarding table — a fresh gateway without plans
+        cannot fast-react until the next control epoch."""
+        cluster.install({1: ("SIN", I)}, {1: ("FRA",)})
+        cluster.scale_to(6)
+        newest = cluster.gateways[max(cluster.gateways)]
+        assert newest.reaction_plans() == {1: ("FRA",)}
+
+    def test_crash_removes_lowest_ids_first(self, cluster):
+        victims = cluster.crash_gateways(2, now=0.0)
+        assert victims == [0, 1]
+        assert sorted(cluster.gateways) == [2, 3]
+
+    def test_crash_always_spares_one(self, cluster):
+        victims = cluster.crash_gateways(99, now=0.0)
+        assert len(victims) == 3
+        assert cluster.size == 1
+
+    def test_restore_seeds_tables_and_plans(self, cluster):
+        cluster.install({1: ("SIN", I)}, {1: ("FRA",)})
+        cluster.crash_gateways(2, now=0.0)
+        started = cluster.restore_gateways(2, now=30.0)
+        assert len(started) == 2
+        for gid in started:
+            gateway = cluster.gateways[gid]
+            assert gateway.table.lookup(1) is not None
+            assert gateway.reaction_plans() == {1: ("FRA",)}
+
 
 class TestGroupProbing:
     def test_probe_round_reports_all_links(self, cluster, underlay):
@@ -110,6 +139,21 @@ class TestForwarding:
 
     def test_unknown_stream(self, cluster):
         assert cluster.forward(99) is None
+
+    def test_resolve_reports_the_deciding_gateway(self, cluster):
+        """Regression: passive samples must be booked on the gateway
+        that made the round-robin decision, so `resolve` has to hand
+        back every gateway in turn — not always the lowest id."""
+        cluster.install({1: ("SIN", I)}, {})
+        deciders = {cluster.resolve(1)[0].gateway_id
+                    for __ in range(cluster.size)}
+        assert deciders == set(cluster.gateways)
+
+    def test_resolve_and_forward_agree(self, cluster):
+        cluster.install({1: ("SIN", I)}, {})
+        gateway, decision = cluster.resolve(1)
+        assert decision.next_hop == "SIN"
+        assert gateway.gateway_id in cluster.gateways
 
     def test_cluster_reaction_via_any_gateway(self, cluster, underlay):
         cluster.install({1: ("SIN", I)}, {1: ("SIN",)})

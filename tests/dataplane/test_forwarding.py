@@ -133,6 +133,29 @@ class TestEffectivePathSeries:
         # Prefix A->B Internet (40) plus backup B->C premium (70).
         np.testing.assert_allclose(out.latency_ms, 110.0)
 
+    def test_planless_degraded_hop_does_not_mask_downstream(self):
+        """Regression: a degraded first hop whose region has NO backup
+        plan keeps forwarding normally — its degradation must not mask
+        the downstream hop's own (plan-backed) reaction."""
+        path = OverlayPath.via(["A", "B", "C"], I)
+        f1 = np.ones(5, dtype=bool)   # hop A->B degraded, A has no plan
+        f2 = np.ones(5, dtype=bool)   # hop B->C degraded, B reacts
+        times, hs, ra = _series_env(
+            {("A", "B", I): 40.0, ("B", "C", I): 1000.0,
+             ("B", "C", P): 70.0},
+            reaction_map={("A", "B", I): f1, ("B", "C", I): f2}, n=5)
+
+        def plan(region):
+            # An explicitly empty plan: region A cannot react at all
+            # (distinct from None, which falls back to direct premium).
+            return () if region == "A" else ("C",)
+
+        out = effective_path_series(path, times, hs, ra, plan)
+        # Traffic still flows A->B on the degraded Internet hop (40ms),
+        # then B fires its own backup B->C premium (70ms).
+        np.testing.assert_allclose(out.latency_ms, 110.0)
+        assert out.on_backup.all()
+
     def test_backup_loss_replaces_remaining_hops(self):
         path = OverlayPath.direct("A", "C", I)
         flags = np.ones(4, dtype=bool)

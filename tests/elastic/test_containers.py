@@ -121,3 +121,72 @@ class TestContainerPool:
     def test_removed_containers_stop_billing(self, pool):
         pool.scale_to(0, now=0.0)
         assert pool.container_hours(7200.0) == pytest.approx(0.0)
+
+
+class _FixedDelays(ProvisioningDelayModel):
+    """Delay model returning a scripted sequence (records the loads)."""
+
+    def __init__(self, delays):
+        super().__init__()
+        self._delays = list(delays)
+        self.loads_seen = []
+
+    def sample(self, rng, platform_load=1.0):
+        self.loads_seen.append(platform_load)
+        return self._delays.pop(0)
+
+
+class TestContainerPoolEdges:
+    """Exact-timestamp and accounting edges of the pool lifecycle."""
+
+    def _pool(self, rng, delays, initial=0):
+        return ContainerPool("X", rng, initial=initial, max_containers=10,
+                             delay_model=_FixedDelays(delays))
+
+    def test_scale_down_cancels_newest_completions_first(self, rng):
+        # Three starts finishing at t=100, 50, 10; cancelling two must
+        # keep the EARLIEST completion (slowest-to-finish die first).
+        pool = self._pool(rng, [100.0, 50.0, 10.0])
+        pool.scale_to(3, now=0.0)
+        pool.scale_to(1, now=1.0)
+        assert pool.ready_count(9.99) == 0
+        assert pool.ready_count(10.0) == 1
+        assert pool.ready_count(1000.0) == 1  # the others never arrive
+
+    def test_ready_count_promotes_at_exact_completion_time(self, rng):
+        pool = self._pool(rng, [10.0])
+        pool.scale_to(1, now=0.0)
+        assert pool.ready_count(9.999999) == 0
+        assert pool.ready_count(10.0) == 1  # boundary belongs to ready
+
+    def test_inflight_billing_across_repeated_accounting(self, rng):
+        # Accounting at t=15 (while the start is already complete but
+        # not yet promoted) must bill [10, 15]; accounting again at
+        # t=20 must bill only [15, 20] — never [10, 20] twice.
+        pool = self._pool(rng, [10.0])
+        pool.scale_to(1, now=0.0)
+        assert pool.container_hours(15.0) == pytest.approx(5.0 / 3600.0)
+        assert pool.container_hours(20.0) == pytest.approx(10.0 / 3600.0)
+        # Same-instant repeats are idempotent.
+        assert pool.container_hours(20.0) == pytest.approx(10.0 / 3600.0)
+
+    def test_billing_starts_at_ready_not_at_request(self, rng):
+        pool = self._pool(rng, [10.0])
+        pool.scale_to(1, now=0.0)
+        assert pool.container_hours(10.0) == pytest.approx(0.0)
+
+    def test_platform_load_fn_inflates_scale_up(self, rng):
+        model = _FixedDelays([10.0, 10.0])
+        pool = ContainerPool("X", rng, initial=0, max_containers=10,
+                             delay_model=model)
+        pool.platform_load_fn = lambda now: 8.0
+        pool.scale_to(2, now=0.0)
+        assert model.loads_seen == [8.0, 8.0]
+
+    def test_platform_load_fn_never_lowers_caller_load(self, rng):
+        model = _FixedDelays([10.0])
+        pool = ContainerPool("X", rng, initial=0, max_containers=10,
+                             delay_model=model)
+        pool.platform_load_fn = lambda now: 2.0
+        pool.scale_to(1, now=0.0, platform_load=5.0)
+        assert model.loads_seen == [5.0]
