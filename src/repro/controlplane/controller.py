@@ -58,10 +58,15 @@ class Controller:
                  predictor_harmonics: int = 100,
                  nib_window: int = 1,
                  robust_percentile: Optional[float] = None,
+                 sib_params: Optional[Dict[str, int]] = None,
                  seed: int = 0):
         """`nib_window` > 1 keeps that many reports per link;
         `robust_percentile` makes planning use the window's pessimistic
-        percentile state instead of the last sample (flap damping)."""
+        percentile state instead of the last sample (flap damping);
+        `sib_params` overrides `StreamInformationBase` keyword arguments
+        (``history_slots``, ``refit_every``, ``min_history``) for
+        deployments whose epoch cadence differs from the production
+        five-minute slots."""
         if premium_only and internet_only:
             raise ValueError("choose at most one of premium/internet only")
         if robust_percentile is not None and nib_window < 2:
@@ -76,7 +81,8 @@ class Controller:
         self.nib = NetworkInformationBase(window=nib_window,
                                           codes=self.codes)
         self.sib = StreamInformationBase(self.codes,
-                                         n_harmonics=predictor_harmonics)
+                                         n_harmonics=predictor_harmonics,
+                                         **(sib_params or {}))
         self._workload = StreamWorkload(np.random.default_rng(seed))
         self.epochs_run = 0
 
@@ -190,3 +196,24 @@ class Controller:
                 capacity_target=decision.total_target(),
                 duration_ms=round((time.perf_counter() - t0) * 1e3, 3))
         return ControlOutput(now, r_cur, decision, plans, predicted, streams)
+
+    # ------------------------------------------------------------ checkpoint
+    def export_state(self) -> Dict[str, object]:
+        """JSON-serializable learned state for `repro.resilience`
+        checkpoints: the NIB's windowed reports, the SIB's demand
+        histories and fitted models, and the workload's id counter + RNG
+        state.  Configuration is excluded — a warm restart constructs
+        the controller with the deployment's config and imports only the
+        state."""
+        return {"epochs_run": self.epochs_run,
+                "nib_reports": self.nib.export_reports(),
+                "sib": self.sib.export_state(),
+                "workload": self._workload.export_state()}
+
+    def import_state(self, doc: Dict[str, object]) -> None:
+        """Restore state exported by `export_state` into this (freshly
+        constructed, identically configured) controller."""
+        self.epochs_run = int(doc["epochs_run"])
+        self.nib.import_reports(doc["nib_reports"])
+        self.sib.import_state(doc["sib"])
+        self._workload.import_state(doc["workload"])

@@ -249,5 +249,43 @@ class NetworkInformationBase:
         return {key: history[-1] for key, history in self._reports.items()
                 if history}
 
+    # ------------------------------------------------------------ checkpoint
+    def export_reports(self) -> List[Dict[str, object]]:
+        """Every windowed report as JSON documents (checkpoint format).
+
+        Links are emitted in sorted key order, each link's window oldest
+        first, so the export is deterministic for a given NIB state.
+        """
+        docs: List[Dict[str, object]] = []
+        for key in sorted(self._reports,
+                          key=lambda k: (k[0], k[1], k[2].value)):
+            for report in self._reports[key]:
+                docs.append({"src": report.src, "dst": report.dst,
+                             "link_type": report.link_type.value,
+                             "latency_ms": float(report.latency_ms),
+                             "loss_rate": float(report.loss_rate),
+                             "reported_at": float(report.reported_at)})
+        return docs
+
+    def import_reports(self, docs: List[Dict[str, object]]) -> None:
+        """Replay exported reports into this NIB (warm restart).
+
+        Replays through `update` with the fault filter bypassed — a
+        checkpoint restore is a local disk read, not a network report
+        delivery, so injected report faults must not reapply to it.
+        """
+        saved = self.fault_filter
+        self.fault_filter = None
+        try:
+            for doc in docs:
+                self.update(LinkReport(
+                    src=doc["src"], dst=doc["dst"],
+                    link_type=LinkType(doc["link_type"]),
+                    latency_ms=float(doc["latency_ms"]),
+                    loss_rate=float(doc["loss_rate"]),
+                    reported_at=float(doc["reported_at"])))
+        finally:
+            self.fault_filter = saved
+
     def __len__(self) -> int:
         return sum(1 for h in self._reports.values() if h)

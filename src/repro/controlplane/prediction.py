@@ -84,6 +84,28 @@ class DTFTPredictor:
         idx = self._n + np.arange(steps_ahead)
         return self.reconstruct(idx)
 
+    # ------------------------------------------------------------ checkpoint
+    def export_state(self) -> Optional[dict]:
+        """JSON-serializable fit state (None when unfitted)."""
+        if not self.fitted:
+            return None
+        return {"coeffs_re": [float(v) for v in self._coeffs.real],
+                "coeffs_im": [float(v) for v in self._coeffs.imag],
+                "freq_idx": [int(v) for v in self._freq_idx],
+                "n": int(self._n)}
+
+    def import_state(self, doc: Optional[dict]) -> None:
+        """Restore a fit exported by `export_state`."""
+        if doc is None:
+            self._coeffs = None
+            self._freq_idx = None
+            self._n = 0
+            return
+        self._coeffs = (np.asarray(doc["coeffs_re"], dtype=float)
+                        + 1j * np.asarray(doc["coeffs_im"], dtype=float))
+        self._freq_idx = np.asarray(doc["freq_idx"], dtype=int)
+        self._n = int(doc["n"])
+
 
 class RollingPredictor:
     """Online wrapper: observe demand each slot, predict the next slot.
@@ -145,3 +167,21 @@ class RollingPredictor:
             self._since_fit + horizon_slots)[-horizon_slots:]))
         # Empirical production rule: never predict below the last actual.
         return max(raw, last)
+
+    # ------------------------------------------------------------ checkpoint
+    def export_state(self) -> dict:
+        """JSON-serializable rolling state (history + fit) for checkpoints.
+
+        Configuration (harmonics, window sizes) is NOT included: a warm
+        restart reconstructs the predictor with the deployment's own
+        config and loads only the learned state into it.
+        """
+        return {"history": list(self._history),
+                "since_fit": self._since_fit,
+                "model": self.predictor.export_state()}
+
+    def import_state(self, doc: dict) -> None:
+        """Restore state exported by `export_state`."""
+        self._history = [float(v) for v in doc["history"]]
+        self._since_fit = int(doc["since_fit"])
+        self.predictor.import_state(doc["model"])

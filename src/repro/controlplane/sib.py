@@ -63,3 +63,36 @@ class StreamInformationBase:
 
     def predictor(self, src: str, dst: str) -> RollingPredictor:
         return self._predictors[(src, dst)]
+
+    # ------------------------------------------------------------ checkpoint
+    def export_state(self) -> Dict[str, object]:
+        """JSON-serializable SIB state for controller checkpoints.
+
+        Captures the learned state — per-pair demand histories, fitted
+        predictor models, the last observed matrix — not configuration:
+        a warm restart builds a fresh SIB with the deployment's config
+        and imports only the state.  (The per-epoch stream registry is
+        deliberately excluded; it is rebuilt on the next epoch.)
+        """
+        predictors = {f"{a}->{b}": self._predictors[(a, b)].export_state()
+                      for (a, b) in sorted(self._predictors)}
+        last = (None if self._last_matrix is None
+                else {f"{a}->{b}": float(demand)
+                      for (a, b), demand in sorted(self._last_matrix.items())})
+        return {"predictors": predictors, "last_matrix": last}
+
+    def import_state(self, doc: Dict[str, object]) -> None:
+        """Restore state exported by `export_state`."""
+        for key, state in doc["predictors"].items():
+            a, b = key.split("->")
+            predictor = self._predictors.get((a, b))
+            if predictor is None:
+                raise KeyError(f"unknown pair {(a, b)} in SIB checkpoint")
+            predictor.import_state(state)
+        last = doc["last_matrix"]
+        if last is not None:
+            demand = {}
+            for key, value in last.items():
+                a, b = key.split("->")
+                demand[(a, b)] = float(value)
+            self._last_matrix = TrafficMatrix(self.codes, demand)

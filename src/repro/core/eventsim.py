@@ -41,6 +41,9 @@ from repro.faults import spec as fault_spec
 from repro.faults.runtime import FaultInjector, truncate_install
 from repro.faults.spec import FaultSchedule, FaultSpec
 from repro.obs import telemetry as _telemetry
+from repro.resilience.checkpoint import Checkpoint
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.install import ResilienceCounters, TwoPhaseInstaller
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.traffic.demand import DemandModel
@@ -65,12 +68,30 @@ class SessionRecord:
     loss_rate: List[float] = field(default_factory=list)
     on_backup: List[bool] = field(default_factory=list)
     hop_counts: List[int] = field(default_factory=list)
+    #: Measurement instants where the session could NOT be walked to its
+    #: destination (missing table row or routing loop): the stream was
+    #: blackholed for that tick.
+    blackholed: List[float] = field(default_factory=list)
 
     def latency_array(self) -> np.ndarray:
         return np.asarray(self.latency_ms)
 
     def backup_fraction(self) -> float:
         return float(np.mean(self.on_backup)) if self.on_backup else 0.0
+
+    def blackholed_seconds(self, measure_interval_s: float) -> float:
+        """Blackholed-stream-seconds: failed walks x the tick length."""
+        return len(self.blackholed) * measure_interval_s
+
+    def flap_count(self) -> int:
+        """Number of normal->backup transitions in the measured series."""
+        flaps = 0
+        previous = False
+        for backed in self.on_backup:
+            if backed and not previous:
+                flaps += 1
+            previous = backed
+        return flaps
 
 
 @dataclass
@@ -83,6 +104,8 @@ class EventSimResult:
     events_processed: int
     #: What the fault injector actually did (None without a schedule).
     fault_counters: Optional[Dict[str, int]] = None
+    #: What the resilience layer actually did (None when disabled).
+    resilience_counters: Optional[Dict[str, int]] = None
 
 
 class EventDrivenXRON:
@@ -96,13 +119,26 @@ class EventDrivenXRON:
                  measure_interval_s: float = 1.0,
                  passive_flush_s: float = 5.0,
                  controller_outage: Optional[Tuple[float, float]] = None,
-                 faults: Optional[FaultSchedule] = None):
+                 faults: Optional[FaultSchedule] = None,
+                 resilience: Optional[ResilienceConfig] = None,
+                 sib_params: Optional[Dict[str, int]] = None):
         """`faults` is a declarative `FaultSchedule` of timed failures
         (gateway crashes, probe blackouts, NIB report loss/staleness,
         delayed/partial installs, provisioning storms, controller
         outages) injected deterministically during the run.  An empty or
         absent schedule leaves the simulation byte-identical to a build
         without the fault subsystem.
+
+        `resilience` arms the safe-update & recovery layer
+        (`repro.resilience`): versioned two-phase installs validated
+        against the routing invariants, controller checkpoint/warm
+        restart across outages, degraded-mode forwarding on stale
+        tables, and failover hysteresis.  An absent or disabled config
+        leaves the run byte-identical to a build without the layer.
+
+        `sib_params` overrides the controller's SIB keyword arguments
+        (``history_slots``, ``refit_every``, ``min_history``) so
+        short-epoch deployments can fit the demand model within the run.
 
         `controller_outage` = (start_s, end_s) is the deprecated
         pre-schedule spelling of one controller outage; it is folded
@@ -132,6 +168,22 @@ class EventDrivenXRON:
                 controller_outage[0], controller_outage[1]))
         self.faults = schedule
         self.skipped_epochs = 0
+        #: Resolved resilience config; None when absent or disabled so
+        #: every seam stays a single `is None` test (the byte-identical
+        #: when-disabled guarantee).
+        self.resilience = (resilience.resolved(self.sim_config.epoch_s)
+                           if resilience is not None and resilience.enabled
+                           else None)
+        self._sib_params = dict(sib_params) if sib_params else None
+        self._installer = (TwoPhaseInstaller(self.resilience)
+                           if self.resilience is not None else None)
+        self._res_counters: Optional[ResilienceCounters] = (
+            self._installer.counters if self._installer is not None else None)
+        #: Serialized last checkpoint (the JSON string IS the artifact a
+        #: warm restart loads, so every restore exercises the round trip).
+        self._checkpoint_json: Optional[str] = None
+        #: Set while a modeled controller restart is owed after an outage.
+        self._restart_pending = False
         self._streams = RngStreams(self.sim_config.seed)
         #: Compiled schedule the injection seams query; None when the
         #: schedule is empty so every seam stays a single `is None` test
@@ -144,23 +196,27 @@ class EventDrivenXRON:
         self._install_seq: Dict[str, int] = {}
         self._epoch_seq = 0
 
-        self.controller = Controller(
-            underlay.codes, self.control_config, pricing=underlay.pricing,
-            symmetric_only=self.variant.symmetric_only,
-            premium_only=not self.variant.internet_allowed,
-            internet_only=not self.variant.premium_allowed,
-            seed=self.sim_config.seed)
+        self.controller = self._make_controller()
         reaction = replace(
             self.sim_config.reaction,
             enabled=(self.sim_config.reaction.enabled
                      and self.variant.fast_reaction))
+        if (self.resilience is not None
+                and self.resilience.failover_trigger_bursts is not None):
+            # Failover hysteresis knob: require N consecutive bad probe
+            # bursts before the estimators flag a link degraded.
+            reaction = replace(
+                reaction,
+                trigger_bursts=self.resilience.failover_trigger_bursts)
         self.clusters: Dict[str, RegionCluster] = {
             code: RegionCluster(
                 code, underlay,
                 initial_gateways=self.sim_config.initial_gateways,
                 monitoring=self.sim_config.monitoring,
                 reaction=reaction,
-                rng=self._streams.get(f"cluster.{code}"))
+                rng=self._streams.get(f"cluster.{code}"),
+                resilience=self.resilience,
+                resilience_counters=self._res_counters)
             for code in underlay.codes}
         self.pools: Dict[str, ContainerPool] = {
             code: ContainerPool(
@@ -184,6 +240,22 @@ class EventDrivenXRON:
         self._session_stream: Dict[RegionPair, Optional[int]] = {
             pair: None for pair in tracked_pairs}
         self.control_outputs: List[ControlOutput] = []
+
+    def _make_controller(self) -> Controller:
+        """Build a controller with this deployment's configuration.
+
+        Also the restart path: a modeled post-outage restart constructs
+        the controller exactly like boot did, then (warm restarts only)
+        loads the last checkpoint into it.
+        """
+        return Controller(
+            self.underlay.codes, self.control_config,
+            pricing=self.underlay.pricing,
+            symmetric_only=self.variant.symmetric_only,
+            premium_only=not self.variant.internet_allowed,
+            internet_only=not self.variant.premium_allowed,
+            sib_params=self._sib_params,
+            seed=self.sim_config.seed)
 
     # ------------------------------------------------------------------ api
     def run(self, start_s: float, duration_s: float) -> EventSimResult:
@@ -224,13 +296,23 @@ class EventDrivenXRON:
                             for code, c in self.clusters.items()},
             events_processed=sim.events_processed,
             fault_counters=(self._injector.counters.as_dict()
-                            if self._injector is not None else None))
+                            if self._injector is not None else None),
+            resilience_counters=(self._res_counters.as_dict()
+                                 if self._res_counters is not None else None))
 
     # -------------------------------------------------------------- internal
     def _probe_round(self, sim: Simulator) -> None:
+        # Under the modeled-restart semantics an outage is a dead
+        # process, not a paused one: reports sent while it is down are
+        # lost, which is what makes the post-outage NIB/SIB state an
+        # honest recovery problem instead of a free warm cache.
+        lost = (self.resilience is not None and self.resilience.model_restart
+                and self._injector is not None
+                and self._injector.controller_down(sim.now) is not None)
         for cluster in self.clusters.values():
             reports = cluster.probe_round(sim.now)
-            self.controller.nib.update_many(reports)
+            if not lost:
+                self.controller.nib.update_many(reports)
 
     def _flush_passive(self, sim: Simulator) -> None:
         for cluster in self.clusters.values():
@@ -256,7 +338,14 @@ class EventDrivenXRON:
                            outage_start=outage.start_s,
                            outage_end=outage.end_s,
                            skipped_epochs=self.skipped_epochs)
+            if self.resilience is not None and self.resilience.model_restart:
+                # The outage killed the process: the first epoch after it
+                # ends must restart the controller (cold or warm).
+                self._restart_pending = True
             return
+        if self._restart_pending:
+            self._perform_restart(sim)
+            self._restart_pending = False
         self._epoch_seq += 1
         # The very first epoch needs NIB state: run one probing round.
         if len(self.controller.nib) == 0:
@@ -284,12 +373,25 @@ class EventDrivenXRON:
             code: {} for code in self.underlay.codes}
         for (sid, region), plan in output.reaction_plans.items():
             plans_by_region[region][sid] = plan.relay_regions
-        for code, cluster in self.clusters.items():
-            self._install(sim, code, cluster,
-                          output.path_result.forwarding_tables[code],
-                          plans_by_region[code])
+        if self._installer is not None:
+            # Safe-update path: validate the global update while every
+            # gateway still rides its last-good table, then commit
+            # everywhere-or-nowhere.  Sessions rebind on commit.
+            self._install_two_phase(sim, output, plans_by_region)
+        else:
+            for code, cluster in self.clusters.items():
+                self._install(sim, code, cluster,
+                              output.path_result.forwarding_tables[code],
+                              plans_by_region[code])
+            self._rebind_sessions(output, now)
 
-        # Re-bind tracked sessions to this epoch's stream ids.
+        if (self.resilience is not None and self.resilience.checkpoint_enabled
+                and self._epoch_seq
+                % self.resilience.checkpoint_every_epochs == 0):
+            self._take_checkpoint(now)
+
+    def _rebind_sessions(self, output: ControlOutput, now: float) -> None:
+        """Re-bind tracked sessions to this epoch's stream ids."""
         best: Dict[RegionPair, Tuple[int, float]] = {}
         for a in output.path_result.assignments:
             key = (a.stream.src, a.stream.dst)
@@ -305,6 +407,45 @@ class EventDrivenXRON:
                            previous_stream=self._session_stream[pair])
             self._session_stream[pair] = new_sid
 
+    def _perform_restart(self, sim: Simulator) -> None:
+        """Model the post-outage controller restart (cold or warm).
+
+        The outage killed the controller process; the replacement is
+        constructed exactly like boot, then — when a checkpoint exists —
+        warm-loaded from the serialized artifact (the JSON string, so
+        every restore exercises the full round trip)."""
+        warm = (self.resilience.checkpoint_enabled
+                and self._checkpoint_json is not None)
+        self.controller = self._make_controller()
+        if self._injector is not None:
+            self.controller.nib.fault_filter = self._injector.filter_report
+        if warm:
+            Checkpoint.loads(self._checkpoint_json).restore(self.controller)
+            self._res_counters.restores_warm += 1
+        else:
+            self._res_counters.restores_cold += 1
+        if _TEL.enabled:
+            _TEL.counter("resilience.restores").inc()
+            _TEL.event("resilience_restore", t=sim.now, warm=warm,
+                       epochs_run=self.controller.epochs_run)
+
+    def _take_checkpoint(self, now: float) -> None:
+        """Serialize controller state + the last committed install."""
+        checkpoint = Checkpoint.take(
+            self.controller,
+            {code: c.current_entries() for code, c in self.clusters.items()},
+            {code: c.current_plans() for code, c in self.clusters.items()},
+            t=now, epoch_seq=self._epoch_seq,
+            version=self._installer.committed_version)
+        self._checkpoint_json = checkpoint.dumps()
+        self._res_counters.checkpoints_taken += 1
+        if _TEL.enabled:
+            _TEL.counter("resilience.checkpoints").inc()
+            _TEL.event("resilience_checkpoint", t=now,
+                       epoch_seq=self._epoch_seq,
+                       version=self._installer.committed_version,
+                       bytes=len(self._checkpoint_json))
+
     def _install(self, sim: Simulator, code: str, cluster: RegionCluster,
                  entries: Dict[int, Tuple[str, LinkType]],
                  plans: Dict[int, Tuple[str, ...]]) -> None:
@@ -313,30 +454,8 @@ class EventDrivenXRON:
         if self._injector is not None:
             keep = self._injector.install_keep_fraction(code, now)
             if keep < 1.0:
-                # Partial install: only the first `keep` fraction of the
-                # update's rows (by stream id) lands; rows beyond the cut
-                # keep their previously installed value — the stream
-                # rides a stale table row, it does not vanish.  Streams
-                # absent from the new table are still withdrawn.
-                kept = truncate_install(entries, keep)
-                stale_entries = cluster.current_entries()
-                stale_plans = cluster.current_plans()
-                lost = [sid for sid in entries if sid not in kept]
-                merged = dict(kept)
-                merged_plans = {sid: plan for sid, plan in plans.items()
-                                if sid in kept}
-                for sid in lost:
-                    if sid in stale_entries:
-                        merged[sid] = stale_entries[sid]
-                    if sid in stale_plans:
-                        merged_plans[sid] = stale_plans[sid]
-                entries, plans = merged, merged_plans
-                self._injector.counters.installs_truncated += 1
-                if _TEL.enabled:
-                    _TEL.counter("fault.installs_truncated").inc()
-                    _TEL.event("fault_install_partial", t=now, region=code,
-                               fresh=len(kept), stale=len(entries) - len(kept),
-                               keep_fraction=keep)
+                entries, plans = self._apply_partial(
+                    code, cluster, entries, plans, keep, now)
             delay = self._injector.install_delay(code, now)
             if delay > 0.0:
                 self._injector.counters.installs_delayed += 1
@@ -361,6 +480,153 @@ class EventDrivenXRON:
             return
         self._install_seq[code] = seq
         cluster.install(entries, plans)
+
+    def _apply_partial(self, code: str, cluster: RegionCluster,
+                       entries: Dict[int, Tuple[str, LinkType]],
+                       plans: Dict[int, Tuple[str, ...]],
+                       keep: float, now: float
+                       ) -> Tuple[Dict[int, Tuple[str, LinkType]],
+                                  Dict[int, Tuple[str, ...]]]:
+        """Truncate one region's update to its first `keep` fraction.
+
+        Partial install: only the first `keep` fraction of the update's
+        rows (by stream id) lands; rows beyond the cut keep their
+        previously installed value — the stream rides a stale table row,
+        it does not vanish.  Streams absent from the new table are still
+        withdrawn.
+        """
+        kept = truncate_install(entries, keep)
+        stale_entries = cluster.current_entries()
+        stale_plans = cluster.current_plans()
+        lost = [sid for sid in entries if sid not in kept]
+        merged = dict(kept)
+        merged_plans = {sid: plan for sid, plan in plans.items()
+                        if sid in kept}
+        for sid in lost:
+            if sid in stale_entries:
+                merged[sid] = stale_entries[sid]
+            if sid in stale_plans:
+                merged_plans[sid] = stale_plans[sid]
+        self._injector.counters.installs_truncated += 1
+        if _TEL.enabled:
+            _TEL.counter("fault.installs_truncated").inc()
+            _TEL.event("fault_install_partial", t=now, region=code,
+                       fresh=len(kept), stale=len(merged) - len(kept),
+                       keep_fraction=keep)
+        return merged, merged_plans
+
+    # --------------------------------------------------- two-phase installs
+    def _install_two_phase(self, sim: Simulator, output: ControlOutput,
+                           plans_by_region: Dict[str, Dict[int, Tuple[str, ...]]]
+                           ) -> None:
+        """Start the safe-update protocol for one epoch's tables."""
+        seen = set()
+        streams: List[Tuple[int, str, str]] = []
+        for a in output.path_result.assignments:
+            key = (a.stream.stream_id, a.stream.src, a.stream.dst)
+            if key not in seen:
+                seen.add(key)
+                streams.append(key)
+        version = self._installer.next_version()
+        self._attempt_install(sim, output, plans_by_region, streams,
+                              version, attempt=1)
+
+    def _attempt_install(self, sim: Simulator, output: ControlOutput,
+                         plans_by_region: Dict[str, Dict[int, Tuple[str, ...]]],
+                         streams: List[Tuple[int, str, str]],
+                         version: int, attempt: int) -> None:
+        """One prepare->validate->commit round of the two-phase install."""
+        if not self._installer.is_current(version):
+            return  # superseded by a newer epoch's update
+        now = sim.now
+        tables = output.path_result.forwarding_tables
+        delivered_t: Dict[str, Dict[int, Tuple[str, LinkType]]] = {}
+        delivered_p: Dict[str, Dict[int, Tuple[str, ...]]] = {}
+        max_delay = 0.0
+        for code, cluster in self.clusters.items():
+            entries = tables[code]
+            plans = plans_by_region[code]
+            if self._injector is not None:
+                keep = self._injector.install_keep_fraction(code, now)
+                if keep < 1.0:
+                    entries, plans = self._apply_partial(
+                        code, cluster, entries, plans, keep, now)
+                delay = self._injector.install_delay(code, now)
+                if delay > 0.0:
+                    self._injector.counters.installs_delayed += 1
+                    if _TEL.enabled:
+                        _TEL.counter("fault.installs_delayed").inc()
+                        _TEL.event("fault_install_delayed", t=now,
+                                   region=code, delay_s=delay)
+                    max_delay = max(max_delay, delay)
+            delivered_t[code] = entries
+            delivered_p[code] = plans
+        if max_delay > 0.0:
+            # The protocol cannot commit until every region acknowledges
+            # delivery, so the slowest region paces the whole round.
+            self._res_counters.installs_deferred += 1
+            self._schedule_retry(sim, output, plans_by_region, streams,
+                                 version, attempt, max_delay,
+                                 reason="deferred")
+            return
+        violations = self._installer.validate(
+            delivered_t, delivered_p,
+            {code: c.size for code, c in self.clusters.items()}, streams)
+        if violations:
+            self._res_counters.installs_rejected += 1
+            if _TEL.enabled:
+                _TEL.counter("resilience.installs_rejected").inc()
+                _TEL.event("resilience_install_rejected", t=now,
+                           version=version, attempt=attempt,
+                           violation_count=len(violations),
+                           violations=[str(v) for v in violations[:5]])
+            self._schedule_retry(sim, output, plans_by_region, streams,
+                                 version, attempt,
+                                 self._installer.backoff_delay(attempt),
+                                 reason="rejected")
+            return
+        # Phase 2: commit everywhere with the same version.
+        for code, cluster in self.clusters.items():
+            self._install_seq[code] = self._epoch_seq
+            cluster.install(delivered_t[code], delivered_p[code],
+                            version=version, now=now)
+        self._installer.mark_committed(version)
+        if _TEL.enabled:
+            _TEL.counter("resilience.installs_committed").inc()
+            _TEL.event("resilience_install_commit", t=now, version=version,
+                       attempt=attempt,
+                       rows=sum(len(t) for t in delivered_t.values()))
+        # Bind-on-commit: tracked sessions only move to the new epoch's
+        # stream ids once the tables that know those ids are live.
+        self._rebind_sessions(output, now)
+
+    def _schedule_retry(self, sim: Simulator, output: ControlOutput,
+                        plans_by_region: Dict[str, Dict[int, Tuple[str, ...]]],
+                        streams: List[Tuple[int, str, str]],
+                        version: int, attempt: int, delay: float,
+                        reason: str) -> None:
+        """Queue the next attempt, or abandon when the budget is spent.
+
+        An abandoned update commits nowhere: every gateway keeps its
+        last-good table until the next control epoch proposes afresh."""
+        now = sim.now
+        if self._installer.exhausted(attempt):
+            self._res_counters.installs_abandoned += 1
+            if _TEL.enabled:
+                _TEL.counter("resilience.installs_abandoned").inc()
+                _TEL.event("resilience_install_abandoned", t=now,
+                           version=version, attempt=attempt, reason=reason)
+            return
+        self._res_counters.installs_retried += 1
+        if _TEL.enabled:
+            _TEL.counter("resilience.installs_retried").inc()
+            _TEL.event("resilience_install_retry", t=now, version=version,
+                       attempt=attempt, delay_s=delay, reason=reason)
+        sim.schedule(
+            delay,
+            lambda: self._attempt_install(sim, output, plans_by_region,
+                                          streams, version, attempt + 1),
+            priority=0)
 
     def _make_load_fn(self, code: str):
         """Per-region provisioning-storm hook for a `ContainerPool`."""
@@ -400,6 +666,9 @@ class EventDrivenXRON:
                 continue
             hops = self._walk(pair, sid, now)
             if hops is None:
+                # Missing table row or routing loop: the stream had
+                # nowhere to go this tick (blackholed-stream-seconds).
+                record.blackholed.append(now)
                 continue
             latency = 0.0
             survive = 1.0

@@ -32,7 +32,11 @@ class RegionCluster:
                  initial_gateways: int = 2,
                  monitoring: Optional[MonitoringConfig] = None,
                  reaction: Optional[ReactionConfig] = None,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 resilience=None, resilience_counters=None):
+        """`resilience` / `resilience_counters` are handed through to
+        every gateway the cluster ever creates (see `Gateway`); None
+        leaves the resilience layer out entirely."""
         if initial_gateways < 1:
             raise ValueError("a cluster needs at least one gateway")
         self.region = region
@@ -40,6 +44,8 @@ class RegionCluster:
         self.monitoring = (monitoring if monitoring is not None
                            else MonitoringConfig())
         self.reaction = reaction if reaction is not None else ReactionConfig()
+        self.resilience = resilience
+        self.resilience_counters = resilience_counters
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._grouping = ProbingGroupManager(
             underlay.codes, self.monitoring.representatives)
@@ -58,7 +64,9 @@ class RegionCluster:
         gateway = Gateway(self.region, gid, self.underlay,
                           monitoring=self.monitoring, reaction=self.reaction,
                           rng=np.random.default_rng(
-                              int(self._rng.integers(2 ** 32))))
+                              int(self._rng.integers(2 ** 32))),
+                          resilience=self.resilience,
+                          resilience_counters=self.resilience_counters)
         self.gateways[gid] = gateway
         return gateway
 
@@ -71,7 +79,9 @@ class RegionCluster:
         gateway.install_tables(
             {e.stream_id: (e.next_hop, e.link_type)
              for e in sibling.table.entries()},
-            sibling.reaction_plans())
+            sibling.reaction_plans(),
+            version=sibling.installed_version,
+            now=sibling.installed_at)
 
     def scale_to(self, target: int) -> None:
         """Event-mode scaling: adjust the gateway count immediately.
@@ -103,6 +113,12 @@ class RegionCluster:
                                                     len(self.gateways) - 1))]
         for gid in victims:
             del self.gateways[gid]
+        # Re-point the round-robin cursor into the shrunken fleet so the
+        # spared gateway never inherits a dangling decision index.
+        # (`resolve` re-modulos by the live count, so this is a pure
+        # normalization — behaviour-identical, but the cursor invariant
+        # `0 <= _rr_index < size` holds again for anything that reads it.)
+        self._rr_index %= len(self.gateways)
         if victims and _TEL.enabled:
             _TEL.counter("fault.gateways_crashed").inc(len(victims))
             _TEL.event("fault_gateway_crash", t=now, region=self.region,
@@ -198,10 +214,15 @@ class RegionCluster:
 
     # ----------------------------------------------------------- forwarding
     def install(self, entries: Dict[int, Tuple[str, LinkType]],
-                plans: Dict[int, Tuple[str, ...]]) -> None:
-        """Push a controller update to every gateway of the cluster."""
+                plans: Dict[int, Tuple[str, ...]],
+                version: Optional[int] = None,
+                now: Optional[float] = None) -> None:
+        """Push a controller update to every gateway of the cluster.
+
+        `version`/`now` stamp the update for the resilience layer's
+        version ordering and staleness tracking (see `Gateway`)."""
         for gateway in self.gateways.values():
-            gateway.install_tables(entries, plans)
+            gateway.install_tables(entries, plans, version=version, now=now)
 
     def current_entries(self) -> Dict[int, Tuple[str, LinkType]]:
         """The installed forwarding entries (uniform across gateways)."""

@@ -34,6 +34,9 @@ class ForwardDecision:
     next_hop: str
     link_type: LinkType
     via_backup: bool
+    #: True when a stale table demoted this entry to the premium floor
+    #: (`repro.resilience` degraded-mode forwarding).
+    degraded_mode: bool = False
 
 
 class Gateway:
@@ -42,7 +45,14 @@ class Gateway:
     def __init__(self, region: str, gateway_id: int, underlay: Underlay,
                  monitoring: Optional[MonitoringConfig] = None,
                  reaction: Optional[ReactionConfig] = None,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 resilience=None, resilience_counters=None):
+        """`resilience` is a resolved `repro.resilience.ResilienceConfig`
+        (or None): it arms degraded-mode forwarding (stale tables demote
+        Internet entries to the premium floor) and failback hold-down.
+        `resilience_counters` is the deployment-shared
+        `ResilienceCounters` the gateway increments — shared so counts
+        survive gateway churn (crashes, scale-downs)."""
         self.region = region
         self.gateway_id = int(gateway_id)
         self.underlay = underlay
@@ -50,14 +60,28 @@ class Gateway:
                                   else MonitoringConfig())
         self.reaction_config = (reaction if reaction is not None
                                 else ReactionConfig())
+        if resilience is not None and not resilience.enabled:
+            resilience = None  # a disabled config is the same as none
+        self.resilience = resilience
+        self.resilience_counters = resilience_counters
         self._rng = rng if rng is not None else np.random.default_rng(gateway_id)
         self.table = ForwardingTable(region)
         self.passive = PassiveTracker()
+        #: Version of the last accepted install (None = bootstrap table).
+        self.installed_version: Optional[int] = None
+        #: Simulated time of the last accepted install (staleness base).
+        self.installed_at: Optional[float] = None
         #: Reaction plans for streams traversing this region:
         #: stream_id -> relay sequence to destination.
         self._plans: Dict[int, Tuple[str, ...]] = {}
         #: Streams currently riding their backup path (trace edges only).
         self._on_backup: set = set()
+        #: When each stream last failed over (failback hold-down base).
+        self._failover_at: Dict[int, float] = {}
+        #: Streams whose current hold-down episode was already traced.
+        self._holddown_traced: set = set()
+        #: Streams already counted as demoted under the current table.
+        self._demoted: set = set()
         self._probers: Dict[Tuple[str, LinkType], ActiveProber] = {}
         self._estimators: Dict[Tuple[str, LinkType], LinkStateEstimator] = {}
         for dst in underlay.codes:
@@ -109,10 +133,27 @@ class Gateway:
 
     # ------------------------------------------------------------ forwarding
     def install_tables(self, entries: Dict[int, Tuple[str, LinkType]],
-                       plans: Dict[int, Tuple[str, ...]]) -> None:
-        """Apply a controller update: forwarding entries + reaction plans."""
+                       plans: Dict[int, Tuple[str, ...]],
+                       version: Optional[int] = None,
+                       now: Optional[float] = None) -> bool:
+        """Apply a controller update: forwarding entries + reaction plans.
+
+        `version` is the update's epoch version: a versioned install
+        older than the one already applied is discarded (returns False)
+        — out-of-order pushes must never roll a gateway's table back.
+        `now` stamps the install for degraded-mode staleness tracking.
+        """
+        if (version is not None and self.installed_version is not None
+                and version < self.installed_version):
+            return False
         self.table.install(entries)
         self._plans = dict(plans)
+        if version is not None:
+            self.installed_version = version
+        if now is not None:
+            self.installed_at = now
+        self._demoted.clear()
+        return True
 
     def reaction_plans(self) -> Dict[int, Tuple[str, ...]]:
         """A copy of the installed reaction plans (stream -> relays)."""
@@ -128,6 +169,7 @@ class Gateway:
         entry = self.table.lookup(stream_id)
         if entry is None:
             return None
+        res = self.resilience
         if (self.reaction_config.enabled
                 and self.link_degraded(entry.next_hop, entry.link_type)):
             relays = self._plans.get(stream_id)
@@ -139,6 +181,8 @@ class Gateway:
                 # same next hop.
                 decision = ForwardDecision(entry.next_hop, LinkType.PREMIUM,
                                            True)
+            if res is not None and res.hysteresis_enabled and now is not None:
+                self._failover_at.setdefault(stream_id, now)
             if _TEL.enabled:
                 _TEL.counter("forward.decisions").inc()
                 if stream_id not in self._on_backup:
@@ -151,6 +195,39 @@ class Gateway:
                                backup_next_hop=decision.next_hop,
                                planned=bool(relays))
             return decision
+        if res is not None and res.hysteresis_enabled and now is not None:
+            failed_over = self._failover_at.get(stream_id)
+            if failed_over is not None:
+                if now - failed_over < res.failback_holddown_s:
+                    # Hold-down: monitoring says the normal link has
+                    # recovered, but we just failed over — keep riding
+                    # the backup so noisy loss cannot flap the path.
+                    return self._held_down(stream_id, entry, now)
+                del self._failover_at[stream_id]
+                self._holddown_traced.discard(stream_id)
+        if (res is not None and res.degraded_mode_enabled
+                and now is not None and self.installed_at is not None
+                and res.staleness_threshold_s is not None
+                and now - self.installed_at > res.staleness_threshold_s
+                and entry.link_type is LinkType.INTERNET):
+            # Degraded mode: the table is stale past the threshold, so
+            # the unstable Internet entry is demoted to the direct
+            # premium link — the paper's stable-but-expensive floor.
+            if stream_id not in self._demoted:
+                self._demoted.add(stream_id)
+                if self.resilience_counters is not None:
+                    self.resilience_counters.degraded_demotions += 1
+                if _TEL.enabled:
+                    _TEL.counter("resilience.degraded_demotions").inc()
+                    _TEL.event("resilience_degraded_mode", t=now,
+                               region=self.region, gateway=self.gateway_id,
+                               stream=stream_id, next_hop=entry.next_hop,
+                               stale_s=now - self.installed_at,
+                               version=self.installed_version)
+            if _TEL.enabled:
+                _TEL.counter("forward.decisions").inc()
+            return ForwardDecision(entry.next_hop, LinkType.PREMIUM, False,
+                                   degraded_mode=True)
         if _TEL.enabled:
             _TEL.counter("forward.decisions").inc()
             if stream_id in self._on_backup:
@@ -161,6 +238,25 @@ class Gateway:
                            next_hop=entry.next_hop,
                            link=entry.link_type)
         return ForwardDecision(entry.next_hop, entry.link_type, False)
+
+    def _held_down(self, stream_id: int, entry, now: float) -> ForwardDecision:
+        """The backup decision served while failback is held down."""
+        relays = self._plans.get(stream_id)
+        next_hop = relays[0] if relays else entry.next_hop
+        if self.resilience_counters is not None:
+            self.resilience_counters.holddown_suppressed += 1
+        if _TEL.enabled:
+            _TEL.counter("forward.decisions").inc()
+            _TEL.counter("resilience.holddown_suppressed").inc()
+            if stream_id not in self._holddown_traced:
+                # Without the hold-down this would have been a failback;
+                # trace once per hold-down episode, not per decision.
+                self._holddown_traced.add(stream_id)
+                _TEL.event("resilience_holddown", t=now, region=self.region,
+                           gateway=self.gateway_id, stream=stream_id,
+                           since_failover_s=now - self._failover_at[stream_id],
+                           holddown_s=self.resilience.failback_holddown_s)
+        return ForwardDecision(next_hop, LinkType.PREMIUM, True)
 
     # ------------------------------------------------------------------ cost
     @property

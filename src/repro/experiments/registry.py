@@ -135,6 +135,10 @@ _REGISTRY: List[ExperimentSpec] = [
                    quick_kwargs={"n_events": 2},
                    full_kwargs={"n_events": 6},
                    tags=("evaluation", "robustness", "fast")),
+    ExperimentSpec("recovery", _EXP + "recovery",
+                   quick_kwargs={"flap_events": 3, "post_epochs": 5},
+                   full_kwargs={"flap_events": 8, "post_epochs": 8},
+                   tags=("evaluation", "robustness", "fast")),
 ]
 
 _BY_NAME: Dict[str, ExperimentSpec] = {s.name: s for s in _REGISTRY}

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import json
 import math
+import warnings
 from dataclasses import asdict, dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -231,7 +232,32 @@ class FaultSchedule:
 
     @classmethod
     def from_json(cls, docs: Iterable[Dict[str, object]]) -> "FaultSchedule":
-        return cls(tuple(FaultSpec.from_json(doc) for doc in docs))
+        """Parse a schedule, dropping duplicated specs with a warning.
+
+        Hand-edited schedule files (and naive concatenation of two of
+        them) easily repeat an entry; injecting the same fault twice at
+        the same instant would double its counters and, for crashes,
+        kill twice the gateways.  Exact duplicates are collapsed to one
+        occurrence and reported, instead of being injected silently.
+        """
+        specs: List[FaultSpec] = []
+        seen = set()
+        dropped: List[FaultSpec] = []
+        for doc in docs:
+            spec = FaultSpec.from_json(doc)
+            if spec in seen:
+                dropped.append(spec)
+                continue
+            seen.add(spec)
+            specs.append(spec)
+        if dropped:
+            detail = ", ".join(f"{s.kind.value}@{s.start_s:g}s"
+                               for s in dropped)
+            warnings.warn(
+                f"fault schedule contains {len(dropped)} duplicate "
+                f"spec(s), keeping one occurrence of each: {detail}",
+                stacklevel=2)
+        return cls(tuple(specs))
 
     @classmethod
     def loads(cls, text: str) -> "FaultSchedule":

@@ -42,6 +42,16 @@ KINDS = (
     "fault_install_partial",    # an install landed truncated (stale rows ride)
     "fault_platform_load",      # a provisioning storm inflated startup delays
     "fault_controller_outage",  # schedule-driven outage skipped an epoch
+    # Safe-update & recovery layer (`repro.resilience`); emitted only
+    # when the layer is armed, so default runs never carry these.
+    "resilience_install_rejected",   # an update failed invariant validation
+    "resilience_install_retry",      # a rejected/deferred update was requeued
+    "resilience_install_commit",     # a validated update committed everywhere
+    "resilience_install_abandoned",  # the retry budget ran out (last-good rides)
+    "resilience_checkpoint",         # controller state was serialized
+    "resilience_restore",            # a post-outage restart (warm or cold)
+    "resilience_degraded_mode",      # a stale table demoted a stream to premium
+    "resilience_holddown",           # failback suppressed by the hold-down timer
 )
 
 

@@ -1,0 +1,105 @@
+"""Two-phase install bookkeeping: versions, validation, retry policy.
+
+`TwoPhaseInstaller` owns the pure (simulator-independent) half of the
+safe-update protocol:
+
+* **phase 1 (prepare)** — the harness delivers the controller's update
+  to every region through the fault seams and hands the assembled
+  global state to :meth:`validate`, which runs the routing invariants
+  while every gateway still holds its last-good table;
+* **phase 2 (commit)** — an update that validated cleanly is committed
+  everywhere with the same monotonically increasing version;
+  a rejected update commits *nowhere* and is retried with bounded
+  exponential backoff (:meth:`backoff_delay`), superseded silently if a
+  newer epoch's update arrives first (:meth:`is_current`).
+
+The event-loop half (actually scheduling retries, pushing to clusters,
+rebinding sessions on commit) lives in `repro.core.eventsim`, which
+owns the clock and the clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.invariants import (Plans, StreamSpec, Tables,
+                                         Violation, validate_install)
+
+
+@dataclass
+class ResilienceCounters:
+    """What the resilience layer actually did during a run."""
+
+    installs_committed: int = 0
+    installs_rejected: int = 0
+    installs_retried: int = 0
+    installs_abandoned: int = 0
+    #: Install rounds deferred because a region's push was delayed.
+    installs_deferred: int = 0
+    violations_found: int = 0
+    checkpoints_taken: int = 0
+    restores_warm: int = 0
+    restores_cold: int = 0
+    degraded_demotions: int = 0
+    holddown_suppressed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+    def total(self) -> int:
+        return sum(self.__dict__.values())
+
+
+class TwoPhaseInstaller:
+    """Version allocation + invariant validation + retry policy."""
+
+    def __init__(self, config: ResilienceConfig):
+        self.config = config
+        self.counters = ResilienceCounters()
+        #: Highest version ever proposed (monotonic, never reused).
+        self.proposed_version = 0
+        #: Version of the last update that actually committed.
+        self.committed_version = 0
+
+    # ------------------------------------------------------------- versions
+    def next_version(self) -> int:
+        """Allocate the version for a new epoch's update."""
+        self.proposed_version += 1
+        return self.proposed_version
+
+    def is_current(self, version: int) -> bool:
+        """Whether `version` is still the newest proposal (retry guard:
+        a pending retry for an older epoch is superseded silently)."""
+        return version == self.proposed_version
+
+    def mark_committed(self, version: int) -> None:
+        self.committed_version = max(self.committed_version, version)
+        self.counters.installs_committed += 1
+
+    # ----------------------------------------------------------- validation
+    def validate(self, tables: Tables, plans: Plans,
+                 cluster_sizes: Dict[str, int],
+                 streams: Iterable[StreamSpec]) -> List[Violation]:
+        """Phase 1: run the invariants over the delivered global update."""
+        if not self.config.validate_installs:
+            return []
+        violations = validate_install(tables, plans, cluster_sizes, streams)
+        self.counters.violations_found += len(violations)
+        return violations
+
+    # ---------------------------------------------------------------- retry
+    def backoff_delay(self, attempt: int) -> float:
+        """Delay before retry number `attempt` (1-based), bounded growth."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return (self.config.retry_backoff_s
+                * self.config.retry_backoff_factor ** (attempt - 1))
+
+    def exhausted(self, attempt: int) -> bool:
+        """Whether attempt number `attempt` used up the retry budget."""
+        return attempt > self.config.max_install_retries
+
+
+__all__ = ["ResilienceCounters", "TwoPhaseInstaller"]

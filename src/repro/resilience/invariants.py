@@ -1,0 +1,162 @@
+"""Routing invariants a forwarding update must satisfy before commit.
+
+The two-phase installer (see `repro.resilience.install`) validates every
+proposed epoch update against these checks while the gateways still hold
+their last-good tables.  An update that violates any invariant is
+rejected atomically — nothing commits anywhere — which is what keeps a
+truncated or otherwise corrupted install from ever blackholing or
+looping live conference traffic.
+
+The invariants, in the order they are checked:
+
+* **loop freedom** — following a stream's next hops region by region
+  never revisits a region;
+* **delivery** — every stream the controller placed can be walked from
+  its source to its destination through the proposed tables (no row
+  missing mid-path, bounded hop count);
+* **no blackhole** — every next hop a table row points at has live
+  forwarding capacity (at least one gateway);
+* **plan liveness** — every reaction plan's relay regions are alive, so
+  a local failover never redirects traffic into an empty region.
+
+Checks are pure functions over plain data (tables, plans, cluster
+sizes); they hold no state and draw no randomness, so validating an
+update cannot perturb a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.underlay.linkstate import LinkType
+
+#: Per-region proposed tables: region -> stream -> (next hop, tier).
+Tables = Dict[str, Dict[int, Tuple[str, LinkType]]]
+#: Per-region proposed reaction plans: region -> stream -> relay chain.
+Plans = Dict[str, Dict[int, Tuple[str, ...]]]
+#: Streams the update must deliver: (stream id, src, dst).
+StreamSpec = Tuple[int, str, str]
+
+#: Hop budget for the delivery walk (matches the data plane's guard).
+MAX_HOPS = 8
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach found in a proposed update."""
+
+    #: Which invariant broke: "loop", "delivery", "blackhole", "plan".
+    kind: str
+    #: Region where the breach was observed (walk position / plan owner).
+    region: str
+    #: Stream the breach affects (-1 when not stream-specific).
+    stream_id: int
+    #: Human-readable specifics.
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"[{self.kind}] stream {self.stream_id} at "
+                f"{self.region}: {self.detail}")
+
+
+def check_loop_freedom(tables: Tables) -> List[Violation]:
+    """No stream's next-hop chain may revisit a region.
+
+    Each region holds at most one row per stream, so a stream's
+    forwarding relation is a functional graph over regions: following it
+    from every region that has a row either leaves the table (fine — the
+    delivery check owns completeness) or must terminate before revisiting
+    a region.
+    """
+    violations: List[Violation] = []
+    streams = sorted({sid for rows in tables.values() for sid in rows})
+    for sid in streams:
+        flagged = False
+        for start in sorted(tables):
+            if flagged or sid not in tables[start]:
+                continue
+            seen = {start}
+            current = start
+            while sid in tables.get(current, {}):
+                nxt = tables[current][sid][0]
+                if nxt in seen:
+                    violations.append(Violation(
+                        "loop", current, sid,
+                        f"next hop {nxt} closes a forwarding cycle"))
+                    flagged = True
+                    break
+                seen.add(nxt)
+                current = nxt
+    return violations
+
+
+def check_delivery(tables: Tables, streams: Iterable[StreamSpec]
+                   ) -> List[Violation]:
+    """Every placed stream must be walkable from source to destination."""
+    violations: List[Violation] = []
+    for sid, src, dst in streams:
+        current = src
+        for __ in range(MAX_HOPS):
+            if current == dst:
+                break
+            entry = tables.get(current, {}).get(sid)
+            if entry is None:
+                violations.append(Violation(
+                    "delivery", current, sid,
+                    f"no row on the way {src}->{dst}"))
+                break
+            current = entry[0]
+        else:
+            violations.append(Violation(
+                "delivery", current, sid,
+                f"{src}->{dst} exceeds {MAX_HOPS} hops"))
+    return violations
+
+
+def check_no_blackhole(tables: Tables,
+                       cluster_sizes: Dict[str, int]) -> List[Violation]:
+    """Every next hop must have at least one live gateway behind it."""
+    violations: List[Violation] = []
+    for region in sorted(tables):
+        for sid in sorted(tables[region]):
+            nxt = tables[region][sid][0]
+            if cluster_sizes.get(nxt, 0) < 1:
+                violations.append(Violation(
+                    "blackhole", region, sid,
+                    f"next hop {nxt} has no live gateways"))
+    return violations
+
+
+def check_plan_liveness(plans: Plans,
+                        cluster_sizes: Dict[str, int]) -> List[Violation]:
+    """Reaction plans may only relay through live regions."""
+    violations: List[Violation] = []
+    for region in sorted(plans):
+        for sid in sorted(plans[region]):
+            for relay in plans[region][sid]:
+                if cluster_sizes.get(relay, 0) < 1:
+                    violations.append(Violation(
+                        "plan", region, sid,
+                        f"backup relay {relay} has no live gateways"))
+    return violations
+
+
+def validate_install(tables: Tables, plans: Plans,
+                     cluster_sizes: Dict[str, int],
+                     streams: Optional[Iterable[StreamSpec]] = None
+                     ) -> List[Violation]:
+    """Run every invariant over a proposed update; [] means commit-safe."""
+    violations = check_loop_freedom(tables)
+    if streams is not None:
+        violations.extend(check_delivery(tables, streams))
+    violations.extend(check_no_blackhole(tables, cluster_sizes))
+    violations.extend(check_plan_liveness(plans, cluster_sizes))
+    return violations
+
+
+__all__ = [
+    "MAX_HOPS", "Tables", "Plans", "StreamSpec", "Violation",
+    "check_loop_freedom", "check_delivery", "check_no_blackhole",
+    "check_plan_liveness", "validate_install",
+]

@@ -9,7 +9,6 @@ streams (sorted by latency, split across paths when needed).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -75,7 +74,9 @@ class StreamWorkload:
             raise ValueError("need at least one stream per pair")
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self.max_streams_per_pair = max_streams_per_pair
-        self._ids = itertools.count()
+        #: Next stream id — a plain int (not itertools.count) so the
+        #: counter is checkpointable alongside the RNG state.
+        self._next_id = 0
 
     def decompose(self, matrix: TrafficMatrix) -> List[Stream]:
         """Split each pair's demand into up to `max_streams_per_pair` chunks.
@@ -101,9 +102,22 @@ class StreamWorkload:
                 if chunk <= 0:
                     continue
                 sessions = max(1, int(round(chunk / profile.bitrate_mbps)))
-                streams.append(Stream(next(self._ids), src, dst, chunk,
+                sid = self._next_id
+                self._next_id += 1
+                streams.append(Stream(sid, src, dst, chunk,
                                       profile, sessions))
         return streams
+
+    # ------------------------------------------------------------ checkpoint
+    def export_state(self) -> Dict[str, object]:
+        """Id counter + RNG state, so a warm-restarted controller keeps
+        allocating globally fresh stream ids with the same draw sequence."""
+        return {"next_id": self._next_id,
+                "rng": self._rng.bit_generator.state}
+
+    def import_state(self, doc: Dict[str, object]) -> None:
+        self._next_id = int(doc["next_id"])
+        self._rng.bit_generator.state = doc["rng"]
 
     def session_statistics(self, streams: List[Stream]) -> Dict[str, float]:
         """Aggregate stats the SIB exposes to operators."""

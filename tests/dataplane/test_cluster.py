@@ -85,6 +85,20 @@ class TestFleet:
         assert len(victims) == 3
         assert cluster.size == 1
 
+    def test_crash_normalizes_round_robin_cursor(self, cluster):
+        """Regression: `crash_gateways` sparing one survivor must re-point
+        the round-robin cursor into the shrunken fleet.  The cursor had
+        been left wherever the pre-crash fleet advanced it, violating the
+        `0 <= _rr_index < size` invariant for anything reading it raw."""
+        cluster.install({1: ("SIN", I)}, {})
+        for __ in range(7):  # advance the cursor beyond the post-crash size
+            cluster.forward(1)
+        cluster.crash_gateways(3, now=0.0)
+        assert 0 <= cluster._rr_index < cluster.size
+        survivor = next(iter(cluster.gateways.values()))
+        resolved = cluster.resolve(1)
+        assert resolved is not None and resolved[0] is survivor
+
     def test_restore_seeds_tables_and_plans(self, cluster):
         cluster.install({1: ("SIN", I)}, {1: ("FRA",)})
         cluster.crash_gateways(2, now=0.0)

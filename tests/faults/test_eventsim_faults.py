@@ -201,6 +201,30 @@ class TestInstallFaults:
         assert any(rec.times and max(rec.times) > 3660.0
                    for rec in result.sessions.values())
 
+    def test_delay_and_partial_compose_on_the_same_epoch(self, regions):
+        """Both install faults active over the same epochs: the update
+        must be truncated first (stale rows merged in), THEN delayed —
+        the late install that eventually lands is the truncated one,
+        and a delayed stale update never overwrites a newer epoch's."""
+        sched = FaultSchedule.of(
+            install_partial(3601.0, 1000.0, keep_fraction=0.5),
+            install_delay(3601.0, 1000.0, delay_s=5.0))
+        sim, result = _run(regions, faults=sched, duration=150.0)
+        assert result.fault_counters["installs_truncated"] > 0
+        assert result.fault_counters["installs_delayed"] > 0
+        # Every faulted epoch was both truncated and delayed, in every
+        # region (region=None matches all three).
+        assert (result.fault_counters["installs_truncated"]
+                == result.fault_counters["installs_delayed"])
+        # The delayed+truncated updates landed: tables exist everywhere
+        # and sessions kept measuring past the second faulted epoch.
+        assert all(c.current_entries() for c in sim.clusters.values())
+        assert any(rec.times and max(rec.times) > 3660.0
+                   for rec in result.sessions.values())
+        # Monotonic install sequencing held despite the delays.
+        assert all(seq <= sim._epoch_seq
+                   for seq in sim._install_seq.values())
+
 
 class TestPassiveAttribution:
     def test_passive_samples_land_on_the_deciding_gateway(self, regions):

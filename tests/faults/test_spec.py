@@ -1,6 +1,7 @@
 """Tests for the declarative fault specifications and schedules."""
 
 import math
+import warnings
 
 import pytest
 
@@ -113,3 +114,21 @@ class TestFaultSchedule:
             report_staleness(0.0, math.inf, staleness_s=30.0),
             controller_outage(5.0, 25.0))
         assert FaultSchedule.loads(sched.dumps()) == sched
+
+    def test_from_json_dedupes_duplicate_specs_with_warning(self):
+        crash = gateway_crash(10.0, 60.0, region="HGH")
+        outage = controller_outage(5.0, 25.0)
+        docs = [crash.to_json(), outage.to_json(), crash.to_json()]
+        with pytest.warns(UserWarning, match="duplicate"):
+            sched = FaultSchedule.from_json(docs)
+        assert len(sched) == 2
+        assert sched == FaultSchedule.of(crash, outage)
+
+    def test_from_json_keeps_distinct_same_instant_specs(self):
+        # Same kind + start but different regions are NOT duplicates.
+        docs = [probe_blackout(2.0, 2.0, region="HGH").to_json(),
+                probe_blackout(2.0, 2.0, region="SIN").to_json()]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sched = FaultSchedule.from_json(docs)
+        assert len(sched) == 2

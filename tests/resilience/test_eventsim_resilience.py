@@ -1,0 +1,186 @@
+"""Acceptance tests for the safe-update & recovery layer in the simulator.
+
+The ISSUE's acceptance criteria, asserted end to end:
+
+* a **disabled** config leaves runs byte-identical to a build without
+  the layer — with and without a fault schedule;
+* **enabled under chaos**, no invariant-violating install ever commits
+  (blackholed-stream-seconds drop to zero while the unprotected
+  baseline blackholes);
+* a **warm restart** reconverges at least one epoch faster than a cold
+  restart after the same controller outage;
+* **hysteresis** produces strictly fewer failover flaps than the same
+  storm without it.
+
+The heavy scenario runs are shared through the `recovery` experiment's
+own testbed (one module-scoped report), so the acceptance suite asserts
+against exactly what the experiment publishes.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.config import SimulationConfig
+from repro.core.eventsim import EventDrivenXRON
+from repro.experiments import recovery
+from repro.faults import (FaultSchedule, controller_outage, install_partial,
+                          report_drop)
+from repro.resilience import ResilienceConfig, resilience, validate_install
+
+
+@pytest.fixture(scope="module")
+def regions():
+    from repro.underlay.regions import default_regions
+    by_code = {r.code: r for r in default_regions()}
+    return [by_code[c] for c in ("HGH", "SIN", "FRA")]
+
+
+def _run(regions, seed=5, duration=90.0, **kwargs):
+    underlay, demand = recovery._build_quiet(seed)
+    sim = EventDrivenXRON(
+        underlay, demand,
+        sim_config=SimulationConfig(epoch_s=30.0, eval_step_s=10.0,
+                                    seed=seed, demand_scale=0.05),
+        **kwargs)
+    return sim, sim.run(3600.0, duration)
+
+
+def _fingerprint(result):
+    doc = {"events": result.events_processed,
+           "probe_bytes": result.probe_bytes,
+           "epochs": len(result.control_outputs),
+           "gateways": dict(result.gateway_counts)}
+    for pair, rec in sorted(result.sessions.items()):
+        doc[pair] = (tuple(rec.times), tuple(rec.latency_ms),
+                     tuple(rec.loss_rate), tuple(rec.on_backup),
+                     tuple(rec.blackholed))
+    return doc
+
+
+@pytest.fixture(scope="module")
+def report() -> recovery.RecoveryReport:
+    """One quick-profile recovery experiment, shared by the assertions."""
+    return recovery.run(flap_events=3, post_epochs=5)
+
+
+class TestDisabledEquivalence:
+    def test_absent_and_disabled_config_are_byte_identical(self, regions):
+        __, plain = _run(regions)
+        sim, disabled = _run(regions, resilience=ResilienceConfig())
+        assert sim.resilience is None  # normalized away
+        assert sim._installer is None
+        assert _fingerprint(plain) == _fingerprint(disabled)
+        assert plain.resilience_counters is None
+        assert disabled.resilience_counters is None
+
+    def test_disabled_config_identical_under_faults(self, regions):
+        sched = FaultSchedule.of(
+            controller_outage(3620.0, 3680.0),
+            report_drop(3600.0, 90.0, probability=0.5),
+            install_partial(3601.0, 90.0, keep_fraction=0.5))
+        __, plain = _run(regions, faults=sched)
+        __, disabled = _run(regions, faults=sched,
+                            resilience=ResilienceConfig())
+        assert _fingerprint(plain) == _fingerprint(disabled)
+        assert plain.fault_counters == disabled.fault_counters
+
+
+class TestSafeInstallsUnderChaos:
+    def test_unprotected_baseline_blackholes(self, report):
+        assert report.row("install-chaos", "off").blackholed_s > 0.0
+
+    def test_no_violating_install_ever_commits(self, report):
+        row = report.row("install-chaos", "on")
+        # The same chaos that blackholed the baseline: zero blackholed
+        # stream-seconds because rejected updates never landed.
+        assert row.blackholed_s == 0.0
+        assert row.counter("installs_rejected") > 0
+        assert row.counter("violations_found") > 0
+        assert row.counter("installs_committed") > 0
+
+    def test_retry_budget_bounded(self, report):
+        row = report.row("install-chaos", "on")
+        assert row.counter("installs_retried") <= (
+            (row.counter("installs_rejected")
+             + row.counter("installs_deferred")))
+        assert row.counter("installs_abandoned") >= 1
+
+    def test_final_tables_satisfy_invariants_live(self, regions):
+        """After chaos, what is actually installed passes validation."""
+        sched = FaultSchedule.of(
+            install_partial(3601.0, 100.0, keep_fraction=0.4))
+        sim, __ = _run(regions, duration=210.0, faults=sched,
+                       resilience=resilience(),
+                       sib_params={"min_history": 4, "refit_every": 2})
+        tables = {code: c.current_entries()
+                  for code, c in sim.clusters.items()}
+        plans = {code: c.current_plans()
+                 for code, c in sim.clusters.items()}
+        sizes = {code: c.size for code, c in sim.clusters.items()}
+        assert validate_install(tables, plans, sizes) == []
+        # Committed versions are uniform across every gateway.
+        versions = {g.installed_version
+                    for c in sim.clusters.values()
+                    for g in c.gateways.values()}
+        assert len(versions) == 1
+        assert versions == {sim._installer.committed_version}
+
+
+class TestWarmRestart:
+    def test_outage_triggers_exactly_one_restart(self, report):
+        cold = report.row("controller-outage", "cold")
+        warm = report.row("controller-outage", "warm")
+        assert cold.counter("restores_cold") == 1
+        assert cold.counter("restores_warm") == 0
+        assert warm.counter("restores_warm") == 1
+        assert warm.counter("restores_cold") == 0
+
+    def test_warm_restore_cuts_reconvergence_by_at_least_one_epoch(
+            self, report):
+        cold = report.row("controller-outage", "cold").reconverge_epochs
+        warm = report.row("controller-outage", "warm").reconverge_epochs
+        assert cold >= 1
+        assert warm <= cold - 1
+
+    def test_checkpoints_taken_every_epoch(self, report):
+        warm = report.row("controller-outage", "warm")
+        assert warm.counter("checkpoints_taken") > 0
+
+
+class TestHysteresis:
+    def test_strictly_fewer_flaps_with_hysteresis(self, report):
+        off = report.row("flap-storm", "no-hysteresis").flaps
+        on = report.row("flap-storm", "hysteresis").flaps
+        assert off >= 2
+        assert on < off
+
+    def test_holddown_suppressions_counted(self, report):
+        assert report.row("flap-storm", "hysteresis")\
+            .counter("holddown_suppressed") > 0
+
+
+class TestTelemetry:
+    @pytest.fixture(autouse=True)
+    def clean_hub(self):
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_resilience_events_are_traced(self, regions):
+        sched = FaultSchedule.of(
+            controller_outage(3610.0, 3655.0),
+            install_partial(3661.0, 40.0, keep_fraction=0.4))
+        tel = obs.enable()
+        sim, __ = _run(regions, duration=150.0, faults=sched,
+                       resilience=resilience(),
+                       sib_params={"min_history": 4, "refit_every": 2})
+        kinds = set(tel.tracer.kinds())
+        assert "resilience_install_commit" in kinds
+        assert "resilience_install_rejected" in kinds
+        assert "resilience_install_retry" in kinds
+        assert "resilience_checkpoint" in kinds
+        assert "resilience_restore" in kinds
+        restore = tel.tracer.by_kind("resilience_restore")[0]
+        assert restore.fields["warm"] in (True, False)

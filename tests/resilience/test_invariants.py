@@ -1,0 +1,109 @@
+"""Unit tests for the routing invariants behind two-phase installs."""
+
+from repro.resilience import (Violation, check_delivery, check_loop_freedom,
+                              check_no_blackhole, check_plan_liveness,
+                              validate_install)
+from repro.resilience.invariants import MAX_HOPS
+from repro.underlay.linkstate import LinkType
+
+I = LinkType.INTERNET
+P = LinkType.PREMIUM
+
+SIZES = {"HGH": 2, "SIN": 2, "FRA": 1}
+
+
+class TestLoopFreedom:
+    def test_clean_chain_passes(self):
+        tables = {"HGH": {1: ("SIN", I)}, "SIN": {1: ("FRA", P)}}
+        assert check_loop_freedom(tables) == []
+
+    def test_two_region_cycle_detected(self):
+        tables = {"HGH": {1: ("SIN", I)}, "SIN": {1: ("HGH", I)}}
+        violations = check_loop_freedom(tables)
+        assert len(violations) == 1
+        assert violations[0].kind == "loop"
+        assert violations[0].stream_id == 1
+
+    def test_cycle_flagged_once_per_stream(self):
+        tables = {"HGH": {1: ("SIN", I)},
+                  "SIN": {1: ("FRA", I)},
+                  "FRA": {1: ("HGH", I)}}
+        assert len(check_loop_freedom(tables)) == 1
+
+    def test_independent_streams_checked_independently(self):
+        tables = {"HGH": {1: ("SIN", I), 2: ("SIN", I)},
+                  "SIN": {1: ("HGH", I)}}
+        violations = check_loop_freedom(tables)
+        assert [v.stream_id for v in violations] == [1]
+
+
+class TestDelivery:
+    def test_direct_and_relayed_streams_pass(self):
+        tables = {"HGH": {1: ("SIN", I), 2: ("SIN", P)},
+                  "SIN": {2: ("FRA", P)}}
+        streams = [(1, "HGH", "SIN"), (2, "HGH", "FRA")]
+        assert check_delivery(tables, streams) == []
+
+    def test_missing_row_mid_path_detected(self):
+        tables = {"HGH": {2: ("SIN", P)}, "SIN": {}}
+        violations = check_delivery(tables, [(2, "HGH", "FRA")])
+        assert len(violations) == 1
+        assert violations[0].kind == "delivery"
+        assert violations[0].region == "SIN"
+
+    def test_hop_budget_enforced(self):
+        # A long ping-pong would exceed MAX_HOPS before ever revisiting
+        # (loop detection owns revisits; this is the hop *budget*).
+        codes = [f"R{k}" for k in range(MAX_HOPS + 2)]
+        tables = {codes[k]: {1: (codes[k + 1], I)}
+                  for k in range(len(codes) - 1)}
+        violations = check_delivery(tables, [(1, codes[0], "ELSEWHERE")])
+        assert len(violations) == 1
+        assert "hops" in violations[0].detail
+
+
+class TestBlackholeAndPlans:
+    def test_dead_next_hop_detected(self):
+        tables = {"HGH": {1: ("SIN", I)}}
+        violations = check_no_blackhole(tables, {"HGH": 2, "SIN": 0})
+        assert len(violations) == 1
+        assert violations[0].kind == "blackhole"
+
+    def test_unknown_region_counts_as_dead(self):
+        tables = {"HGH": {1: ("XXX", I)}}
+        assert len(check_no_blackhole(tables, SIZES)) == 1
+
+    def test_dead_relay_detected(self):
+        plans = {"HGH": {1: ("SIN", "FRA")}}
+        violations = check_plan_liveness(plans, {"HGH": 2, "SIN": 1, "FRA": 0})
+        assert len(violations) == 1
+        assert violations[0].kind == "plan"
+
+    def test_live_relays_pass(self):
+        plans = {"HGH": {1: ("SIN",)}}
+        assert check_plan_liveness(plans, SIZES) == []
+
+
+class TestValidateInstall:
+    def test_clean_update_is_commit_safe(self):
+        tables = {"HGH": {1: ("SIN", I)}, "SIN": {}}
+        plans = {"HGH": {1: ("SIN",)}}
+        assert validate_install(tables, plans, SIZES,
+                                [(1, "HGH", "SIN")]) == []
+
+    def test_all_invariants_compose(self):
+        tables = {"HGH": {1: ("SIN", I), 2: ("XXX", I)},
+                  "SIN": {1: ("HGH", I)}}
+        plans = {"HGH": {1: ("FRA", "XXX")}}
+        kinds = {v.kind for v in validate_install(
+            tables, plans, {"HGH": 1, "SIN": 1, "FRA": 0},
+            [(3, "HGH", "FRA")])}
+        assert kinds == {"loop", "delivery", "blackhole", "plan"}
+
+    def test_streams_optional(self):
+        tables = {"HGH": {1: ("SIN", I)}}
+        assert validate_install(tables, {}, SIZES) == []
+
+    def test_violation_str_is_informative(self):
+        v = Violation("loop", "HGH", 7, "next hop SIN closes a cycle")
+        assert "loop" in str(v) and "7" in str(v) and "HGH" in str(v)
