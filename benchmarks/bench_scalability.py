@@ -15,7 +15,10 @@ from repro.controlplane.capacity import capacity_control
 from repro.controlplane.model import ControlConfig
 from repro.controlplane.pathcontrol import path_control
 from repro.controlplane.reactionplan import generate_reaction_plans
-from repro.experiments.base import standard_demand, standard_underlay
+from repro.experiments.base import (planet_underlay, standard_demand,
+                                    standard_underlay)
+from repro.traffic.cohorts import CohortWorkload
+from repro.traffic.demand import DemandModel
 from repro.traffic.matrix import TrafficMatrix
 from repro.traffic.streams import StreamWorkload
 from repro.underlay.regions import Region, default_regions
@@ -122,3 +125,109 @@ def test_path_control_double_scale(benchmark, paper_scale):
     benchmark(lambda: path_control(streams, u.codes, state, config,
                                    gateways=gateways, fees=u.pricing))
     assert benchmark.stats["mean"] < 2.0
+
+
+# --------------------------------------------------------------------------
+# Region-count scaling sweep (generated planet topologies + stream cohorts)
+# --------------------------------------------------------------------------
+#
+# Each sweep point builds an N-region topology with
+# `repro.underlay.planet.build_planet_underlay` and a cohort workload
+# (two cohorts per ordered pair), then times the controller's per-epoch
+# stages.  The paper's two-second bound is asserted as a *hard budget*
+# for every point at or below `BUDGET_MAX_REGIONS`; larger points run
+# unasserted to chart the frontier that motivates sharded control
+# (ROADMAP item 2).  See docs/scaling.md for the methodology and how to
+# refresh BENCH_control.json.
+#
+# CI runs a subset (`-k "sweep and (n011 or n100)"`); ids are
+# zero-padded so `-k n100` cannot also match n1000-style points later.
+
+SWEEP_REGIONS = (11, 50, 100, 200)
+#: Hard two-step budget (paper §5.3: "finish in two seconds").
+EPOCH_BUDGET_S = 2.0
+#: Sweep points where the budget is asserted, not just recorded.
+BUDGET_MAX_REGIONS = 100
+#: Shared scenario constants: one seed for topology/demand/cohorts, a
+#: short generated-timeline horizon (one epoch is measured, not days),
+#: and a peak-hour demand instant for the matrix.
+_SWEEP_SEED = 7
+_SWEEP_HORIZON_S = 900.0
+_SWEEP_SNAP_T = 450.0
+_SWEEP_DEMAND_T = 8 * 3600.0
+
+# Module-level cache, NOT a pytest fixture: `-k sweep` selections must
+# run standalone without touching the paper-scale fixtures, and the
+# per-N setup (a multi-second underlay build at N=200) must not be
+# re-done per benchmark round.
+_sweep_cache = {}
+
+
+def _sweep_scenario(n_regions: int):
+    if n_regions not in _sweep_cache:
+        u = planet_underlay(n_regions, seed=_SWEEP_SEED,
+                            horizon_s=_SWEEP_HORIZON_S)
+        demand = DemandModel(u.regions, seed=_SWEEP_SEED)
+        matrix = TrafficMatrix.from_model(demand, _SWEEP_DEMAND_T)
+        workload = CohortWorkload(seed=_SWEEP_SEED, cohorts_per_pair=2)
+        streams = workload.decompose(matrix)
+        u.link_param_arrays()  # warm the lazy parameter matrices
+        gateways = {c: 8 for c in u.codes}
+        _sweep_cache[n_regions] = (u, streams, gateways)
+    return _sweep_cache[n_regions]
+
+
+def _sweep_id(n: int) -> str:
+    return f"n{n:03d}"
+
+
+@pytest.mark.parametrize("n_regions", SWEEP_REGIONS, ids=_sweep_id)
+@pytest.mark.benchmark(min_rounds=3)
+def test_sweep_snapshot_build(benchmark, n_regions):
+    """Per-epoch whole-underlay snapshot cost at N regions."""
+    u, __, __ = _sweep_scenario(n_regions)
+    snap = benchmark(lambda: u.snapshot(_SWEEP_SNAP_T))
+    assert np.isfinite(snap.lat).sum() > 0
+
+
+@pytest.mark.parametrize("n_regions", SWEEP_REGIONS, ids=_sweep_id)
+@pytest.mark.benchmark(min_rounds=3)
+def test_sweep_path_control(benchmark, n_regions):
+    """Algorithm 1 over the cohort SIB at N regions."""
+    u, streams, gateways = _sweep_scenario(n_regions)
+    config = ControlConfig()
+    snap = u.snapshot(_SWEEP_SNAP_T)
+    result = benchmark(lambda: path_control(streams, u.codes, snap, config,
+                                            gateways=gateways,
+                                            fees=u.pricing))
+    assert result.total_assigned_mbps() > 0
+    if n_regions <= BUDGET_MAX_REGIONS:
+        assert benchmark.stats["mean"] < EPOCH_BUDGET_S
+
+
+@pytest.mark.parametrize("n_regions", SWEEP_REGIONS, ids=_sweep_id)
+@pytest.mark.benchmark(min_rounds=3)
+def test_sweep_full_epoch(benchmark, n_regions):
+    """The controller's full per-epoch compute at N regions: snapshot
+    build, Algorithm 1, capacity control, and reaction-plan generation
+    (demand prediction is per-pair constant time and negligible)."""
+    u, streams, gateways = _sweep_scenario(n_regions)
+    config = ControlConfig()
+
+    def full_epoch():
+        snap = u.snapshot(_SWEEP_SNAP_T)
+        r_cur = path_control(streams, u.codes, snap, config,
+                             gateways=gateways, fees=u.pricing)
+        decision = capacity_control(streams, u.codes, snap, config,
+                                    gateways, r_cur, fees=u.pricing)
+        plans = generate_reaction_plans(r_cur, snap,
+                                        config.loss_ms_penalty)
+        return r_cur, decision, plans
+
+    r_cur, decision, plans = benchmark(full_epoch)
+    assert plans
+    assert r_cur.total_assigned_mbps() > 0
+    if n_regions <= BUDGET_MAX_REGIONS:
+        # Paper: "the algorithm can finish in two seconds for our
+        # system" — enforced, not aspirational, up to 100 regions.
+        assert benchmark.stats["mean"] < EPOCH_BUDGET_S

@@ -15,7 +15,11 @@ Two subcommands:
     ``--max-regression`` (a fraction; CI uses 0.25).  Absolute numbers
     differ across machines, so the gate is deliberately loose — it
     exists to catch "someone re-introduced the 2·N² scalar loop", not
-    5% noise.
+    5% noise.  Parameterized region-count sweep entries
+    (``test_sweep_*[nNNN]``) are gated per sweep point: points missing
+    from the fresh run are skipped (CI runs a subset of the sweep), and
+    ``test_sweep_full_epoch`` points at <= 100 regions must additionally
+    beat the hard two-second epoch budget.
 
 Usage::
 
@@ -32,11 +36,13 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import re
 import sys
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 #: Benchmarks whose means the ``check`` subcommand gates.  New
 #: benchmarks start ungated until a reference lands in the summary.
+#: These are *fixed* names: each must be present in every gated run.
 GATED = (
     "test_path_control_paper_scale",
     "test_path_control_paper_scale_snapshot",
@@ -44,8 +50,37 @@ GATED = (
     "test_path_control_double_scale",
 )
 
+#: Parameterized region-count sweep benchmarks, gated per sweep point.
+#: Unlike `GATED`, a sweep entry that is absent from the fresh run is
+#: *skipped*, not failed — CI's scale-smoke job deliberately runs a
+#: subset of the sweep (``-k "sweep and (n011 or n100)"``).
+SWEEP_GATED = (
+    "test_sweep_snapshot_build",
+    "test_sweep_path_control",
+    "test_sweep_full_epoch",
+)
+
 #: The paper's bound: the two-step control computation finishes in 2 s.
 PAPER_BOUND_S = 2.0
+
+#: The sweep's hard per-epoch budget, enforced for full-epoch sweep
+#: points at or below this many regions (mirrors
+#: benchmarks/bench_scalability.py: EPOCH_BUDGET_S / BUDGET_MAX_REGIONS).
+EPOCH_BUDGET_S = 2.0
+BUDGET_MAX_REGIONS = 100
+BUDGETED_SWEEP_BASE = "test_sweep_full_epoch"
+
+#: ``test_sweep_full_epoch[n100]`` -> (``test_sweep_full_epoch``, 100).
+_PARAM_RE = re.compile(r"^(?P<base>[^\[]+)\[n(?P<regions>\d+)\]$")
+
+
+def parse_sweep_name(name: str) -> Optional[Tuple[str, int]]:
+    """(base, n_regions) for a parameterized sweep benchmark name, or
+    None for fixed (unparameterized) names."""
+    m = _PARAM_RE.match(name)
+    if not m:
+        return None
+    return m.group("base"), int(m.group("regions"))
 
 
 def _load(path: str) -> Dict:
@@ -100,32 +135,79 @@ def distill(args: argparse.Namespace) -> int:
     return 0
 
 
+def _compare_entry(name: str, reference: Dict, fresh: Dict,
+                   max_regression: float, failures: list) -> None:
+    """Report one name's fresh mean vs reference, recording failures."""
+    ref_mean = reference[name]["mean_s"]
+    got_mean = fresh[name]["mean_s"]
+    ratio = got_mean / ref_mean if ref_mean > 0 else float("inf")
+    status = "ok"
+    if got_mean > ref_mean * (1.0 + max_regression):
+        status = "REGRESSED"
+        failures.append(
+            f"{name}: mean {got_mean * 1e3:.2f} ms vs reference "
+            f"{ref_mean * 1e3:.2f} ms ({ratio:.2f}x, gate "
+            f"{1.0 + max_regression:.2f}x)")
+    print(f"  - {name}: {got_mean * 1e3:.2f} ms "
+          f"(reference {ref_mean * 1e3:.2f} ms, {ratio:.2f}x) {status}")
+
+
 def check(args: argparse.Namespace) -> int:
     reference = _load(args.reference)["current"]
     fresh = summarise_raw(_load(args.raw))
     failures = []
-    for name in GATED:
+
+    if args.sweep_only:
+        print("fixed gated benchmarks: skipped (--sweep-only)")
+    else:
+        print("fixed gated benchmarks:")
+        for name in GATED:
+            if name not in reference:
+                print(f"  - {name}: no committed reference, skipping")
+                continue
+            if name not in fresh:
+                failures.append(f"{name}: benchmark missing from this run")
+                continue
+            _compare_entry(name, reference, fresh, args.max_regression,
+                           failures)
+            if fresh[name]["mean_s"] > PAPER_BOUND_S:
+                failures.append(
+                    f"{name}: mean {fresh[name]['mean_s']:.2f} s breaks "
+                    f"the paper's {PAPER_BOUND_S:.0f} s bound")
+
+    print("region-count sweep (per sweep point):")
+    seen_any = False
+    for name in sorted(fresh):
+        parsed = parse_sweep_name(name)
+        if parsed is None or parsed[0] not in SWEEP_GATED:
+            continue
+        base, n_regions = parsed
+        seen_any = True
         if name not in reference:
-            print(f"  - {name}: no committed reference, skipping")
-            continue
-        if name not in fresh:
-            failures.append(f"{name}: benchmark missing from this run")
-            continue
-        ref_mean = reference[name]["mean_s"]
-        got_mean = fresh[name]["mean_s"]
-        ratio = got_mean / ref_mean if ref_mean > 0 else float("inf")
-        status = "ok"
-        if got_mean > ref_mean * (1.0 + args.max_regression):
-            status = "REGRESSED"
-            failures.append(
-                f"{name}: mean {got_mean * 1e3:.2f} ms vs reference "
-                f"{ref_mean * 1e3:.2f} ms ({ratio:.2f}x, gate "
-                f"{1.0 + args.max_regression:.2f}x)")
-        print(f"  - {name}: {got_mean * 1e3:.2f} ms "
-              f"(reference {ref_mean * 1e3:.2f} ms, {ratio:.2f}x) {status}")
-        if got_mean > PAPER_BOUND_S:
-            failures.append(f"{name}: mean {got_mean:.2f} s breaks the "
-                            f"paper's {PAPER_BOUND_S:.0f} s bound")
+            print(f"  - {name} ({n_regions} regions): no committed "
+                  "reference, skipping")
+        else:
+            _compare_entry(name, reference, fresh, args.sweep_max_regression,
+                           failures)
+        if base == BUDGETED_SWEEP_BASE and n_regions <= BUDGET_MAX_REGIONS:
+            got_mean = fresh[name]["mean_s"]
+            if got_mean > EPOCH_BUDGET_S:
+                failures.append(
+                    f"{name}: full-epoch mean {got_mean:.2f} s breaks the "
+                    f"{EPOCH_BUDGET_S:.0f} s budget at {n_regions} regions")
+            else:
+                print(f"    budget: {got_mean:.2f} s < {EPOCH_BUDGET_S:.0f} s "
+                      f"at {n_regions} regions ok")
+    # Reference sweep points absent from this run are fine: CI's
+    # scale-smoke job runs a subset of the sweep.
+    for name in sorted(reference):
+        parsed = parse_sweep_name(name)
+        if (parsed is not None and parsed[0] in SWEEP_GATED
+                and name not in fresh):
+            print(f"  - {name}: not in this run (subset sweep), skipping")
+    if not seen_any:
+        print("  (none in this run)")
+
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)
         for f in failures:
@@ -154,6 +236,16 @@ def main(argv=None) -> int:
     p_check.add_argument("--reference", default="BENCH_control.json")
     p_check.add_argument("--max-regression", type=float, default=0.25,
                          help="allowed fractional mean increase (0.25 = 25%%)")
+    p_check.add_argument("--sweep-max-regression", type=float, default=0.50,
+                         help="allowed fractional mean increase for sweep "
+                              "entries — looser than the fixed gate because "
+                              "sweep points run few rounds (their hard "
+                              "guarantee is the epoch budget, which is "
+                              "absolute)")
+    p_check.add_argument("--sweep-only", action="store_true",
+                         help="gate only the region-count sweep entries "
+                              "(CI's scale-smoke job runs the sweep alone, "
+                              "so the fixed benchmarks are absent by design)")
     p_check.set_defaults(func=check)
 
     args = parser.parse_args(argv)

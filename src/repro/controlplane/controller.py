@@ -59,6 +59,7 @@ class Controller:
                  nib_window: int = 1,
                  robust_percentile: Optional[float] = None,
                  sib_params: Optional[Dict[str, int]] = None,
+                 workload: Optional[object] = None,
                  seed: int = 0):
         """`nib_window` > 1 keeps that many reports per link;
         `robust_percentile` makes planning use the window's pessimistic
@@ -66,7 +67,11 @@ class Controller:
         `sib_params` overrides `StreamInformationBase` keyword arguments
         (``history_slots``, ``refit_every``, ``min_history``) for
         deployments whose epoch cadence differs from the production
-        five-minute slots."""
+        five-minute slots; `workload` swaps the demand decomposition —
+        any object with ``decompose(matrix)`` and
+        ``export_state``/``import_state``, e.g. a
+        `repro.traffic.cohorts.CohortWorkload` for planet-scale region
+        sets (default: the per-chunk `StreamWorkload`)."""
         if premium_only and internet_only:
             raise ValueError("choose at most one of premium/internet only")
         if robust_percentile is not None and nib_window < 2:
@@ -83,7 +88,8 @@ class Controller:
         self.sib = StreamInformationBase(self.codes,
                                          n_harmonics=predictor_harmonics,
                                          **(sib_params or {}))
-        self._workload = StreamWorkload(np.random.default_rng(seed))
+        self._workload = (workload if workload is not None
+                          else StreamWorkload(np.random.default_rng(seed)))
         self.epochs_run = 0
 
     # ------------------------------------------------------------------ api

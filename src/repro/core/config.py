@@ -37,6 +37,12 @@ class SimulationConfig:
     #: Plan against this pessimistic percentile of the NIB window instead
     #: of the last sample (flap damping); requires nib_window >= 2.
     robust_percentile: Optional[float] = None
+    #: Decompose predicted demand into aggregated stream cohorts instead
+    #: of per-session chunks — required at planet scale, where the SIB
+    #: cannot hold an entry per session (see docs/scaling.md).
+    stream_cohorts: bool = False
+    #: Cohort entries per ordered region pair when `stream_cohorts` is on.
+    cohorts_per_pair: int = 2
     monitoring: MonitoringConfig = field(default_factory=MonitoringConfig)
     reaction: ReactionConfig = field(default_factory=ReactionConfig)
 
@@ -47,3 +53,5 @@ class SimulationConfig:
             raise ValueError("eval step cannot exceed the epoch length")
         if self.initial_gateways < 1:
             raise ValueError("need at least one initial gateway per region")
+        if self.cohorts_per_pair < 1:
+            raise ValueError("need at least one cohort per pair")

@@ -244,6 +244,12 @@ class EpochSimulator:
             self.codes, self.sim_config.monitoring.representatives)
 
         if variant.overlay_relaying:
+            workload = None
+            if self.sim_config.stream_cohorts:
+                from repro.traffic.cohorts import CohortWorkload
+                workload = CohortWorkload(
+                    seed=self.sim_config.seed,
+                    cohorts_per_pair=self.sim_config.cohorts_per_pair)
             self.controller: Optional[Controller] = Controller(
                 self.codes, self.control_config, pricing=underlay.pricing,
                 symmetric_only=variant.symmetric_only,
@@ -251,6 +257,7 @@ class EpochSimulator:
                 internet_only=not variant.premium_allowed,
                 nib_window=self.sim_config.nib_window,
                 robust_percentile=self.sim_config.robust_percentile,
+                workload=workload,
                 seed=self.sim_config.seed)
         else:
             self.controller = None

@@ -68,3 +68,19 @@ def standard_underlay(seed: int = 1) -> Underlay:
 def standard_demand(seed: int = 3) -> DemandModel:
     """The canonical demand model used across experiments."""
     return DemandModel(default_regions(), seed=seed)
+
+
+def planet_underlay(n_regions: int, seed: int = 1,
+                    horizon_s: float = 3600.0) -> Underlay:
+    """A generated N-region underlay for scaling studies.
+
+    The short default horizon keeps O(N^2) timeline generation cheap —
+    scaling studies measure one control epoch, not multi-day windows.
+    N=11 reproduces `standard_underlay`'s topology model exactly (same
+    regions, same link draw sequence).  See docs/scaling.md.
+    """
+    from repro.underlay.config import UnderlayConfig
+    from repro.underlay.planet import build_planet_underlay
+    return build_planet_underlay(
+        n_regions, seed=seed,
+        underlay_config=UnderlayConfig(horizon_s=horizon_s))

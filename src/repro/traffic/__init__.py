@@ -7,12 +7,15 @@ peak-to-trough ratios (~145x aggregate, ~247x per pair), plus a
 stream/session-level decomposition feeding the controller's SIB.
 """
 
+from repro.traffic.cohorts import CohortWorkload, StreamCohort
 from repro.traffic.config import TrafficConfig
 from repro.traffic.demand import DemandModel
 from repro.traffic.matrix import TrafficMatrix
 from repro.traffic.streams import Stream, StreamWorkload, VIDEO_PROFILES
 
 __all__ = [
+    "CohortWorkload",
+    "StreamCohort",
     "TrafficConfig",
     "DemandModel",
     "TrafficMatrix",

@@ -12,6 +12,9 @@ from repro.underlay.config import UnderlayConfig
 from repro.underlay.regions import Region, RegionPair, default_regions, great_circle_km
 from repro.underlay.events import DegradationEvent, EventTimeline, generate_timeline
 from repro.underlay.linkstate import LinkType, LinkProcess, LinkStateSample
+from repro.underlay.planet import (ANCHORS, MetroAnchor, PlanetConfig,
+                                   PRICING_TIERS, build_planet_underlay,
+                                   generate_regions, tier_fee_ranges)
 from repro.underlay.pricing import PricingModel
 from repro.underlay.similarity import GatewayLinkInstance, quality_similarity
 from repro.underlay.snapshot import TYPE_INDEX, TYPE_ORDER, LinkStateSnapshot
@@ -19,6 +22,13 @@ from repro.underlay.topology import Underlay, build_underlay
 
 __all__ = [
     "UnderlayConfig",
+    "ANCHORS",
+    "MetroAnchor",
+    "PlanetConfig",
+    "PRICING_TIERS",
+    "build_planet_underlay",
+    "generate_regions",
+    "tier_fee_ranges",
     "Region",
     "RegionPair",
     "default_regions",

@@ -9,7 +9,7 @@ paper's measurement: median 7.6x, maximum 11.4x.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -18,19 +18,30 @@ from repro.underlay.regions import Region, RegionPair
 
 
 class PricingModel:
-    """Unit egress fees for both tiers plus container pricing."""
+    """Unit egress fees for both tiers plus container pricing.
+
+    Pass ``tier_ranges`` (region code -> (fee_min, fee_max)) to draw each
+    region's Internet fee from its own market tier instead of the single
+    calibrated band — the planet-scale generator's heterogeneous-pricing
+    mode.  With ``tier_ranges=None`` the draw sequence is exactly the
+    original calibrated model, bit for bit.
+    """
 
     def __init__(self, regions: List[Region], config: PricingConfig,
-                 rng: np.random.Generator):
+                 rng: np.random.Generator,
+                 tier_ranges: Optional[Dict[str, Tuple[float, float]]] = None):
         self.config = config
         self.regions = list(regions)
         codes = [r.code for r in regions]
 
-        # Internet fee per source region, with exactly one region at the
-        # normalisation ceiling of 1.0.
-        fees = rng.uniform(config.internet_fee_min, config.internet_fee_max,
-                           size=len(codes))
-        fees[int(rng.integers(len(codes)))] = config.internet_fee_max
+        if tier_ranges is None:
+            # Internet fee per source region, with exactly one region at
+            # the normalisation ceiling of 1.0.
+            fees = rng.uniform(config.internet_fee_min,
+                               config.internet_fee_max, size=len(codes))
+            fees[int(rng.integers(len(codes)))] = config.internet_fee_max
+        else:
+            fees = self._tiered_fees(codes, tier_ranges, config, rng)
         self._internet_fee: Dict[str, float] = dict(zip(codes, fees.tolist()))
 
         # Premium multiplier per ordered pair; triangular around the median
@@ -45,6 +56,35 @@ class PricingModel:
                     config.premium_multiplier_median,
                     config.premium_multiplier_max))
                 self._premium_fee[(a, b)] = self._internet_fee[a] * mult
+
+    @staticmethod
+    def _tiered_fees(codes: List[str],
+                     tier_ranges: Dict[str, Tuple[float, float]],
+                     config: PricingConfig,
+                     rng: np.random.Generator) -> np.ndarray:
+        """Per-region fees drawn inside each region's tier band.
+
+        The normalisation anchor moves with the tiers: one region drawn
+        among those whose tier ceiling is highest is pinned to that
+        ceiling, so the global maximum stays at the most expensive
+        tier's upper bound (1.0 with the default tier table) and every
+        fee remains inside its own band.
+        """
+        missing = [c for c in codes if c not in tier_ranges]
+        if missing:
+            raise ValueError(f"tier_ranges misses regions: {missing}")
+        lo = np.array([tier_ranges[c][0] for c in codes])
+        hi = np.array([tier_ranges[c][1] for c in codes])
+        if np.any(lo <= 0) or np.any(hi < lo):
+            raise ValueError("tier fee ranges must satisfy 0 < min <= max")
+        if np.any(hi > config.internet_fee_max):
+            raise ValueError("tier fee ceilings cannot exceed the "
+                             f"normalisation ceiling {config.internet_fee_max}")
+        fees = lo + rng.uniform(0.0, 1.0, size=len(codes)) * (hi - lo)
+        top = np.flatnonzero(hi == hi.max())
+        anchor = int(top[int(rng.integers(top.size))])
+        fees[anchor] = hi[anchor]
+        return fees
 
     def internet_fee(self, src: str) -> float:
         """Normalised unit egress fee for the Internet link out of `src`."""

@@ -30,6 +30,11 @@ class Region:
     #: Hours offset from UTC; drives the local three-peak demand pattern.
     utc_offset: float
     continent: str
+    #: Egress-pricing tier (see `repro.underlay.planet.PRICING_TIERS`).
+    #: The default "standard" keeps the calibrated eleven-region pricing
+    #: model unchanged; generated planet-scale topologies assign tiers
+    #: per metro market.
+    pricing_tier: str = "standard"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.code

@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from benchmarks.check_regression import GATED, main, summarise_raw
+from benchmarks.check_regression import (GATED, main, parse_sweep_name,
+                                         summarise_raw)
 
 
 def raw_doc(means):
@@ -100,3 +101,129 @@ def test_baseline_carried_over(files):
 def test_summarise_raw_rounding():
     doc = raw_doc({"x": 0.123456789})
     assert summarise_raw(doc)["x"]["mean_s"] == 0.123457
+
+
+# ------------------------------------------------------- sweep gating
+
+
+def test_parse_sweep_name():
+    assert parse_sweep_name("test_sweep_full_epoch[n100]") == \
+        ("test_sweep_full_epoch", 100)
+    assert parse_sweep_name("test_sweep_snapshot_build[n011]") == \
+        ("test_sweep_snapshot_build", 11)
+    assert parse_sweep_name("test_path_control_paper_scale") is None
+    assert parse_sweep_name("test_sweep_full_epoch[big]") is None
+
+
+def sweep_means(scale=1.0):
+    means = {name: 0.020 for name in GATED}
+    for n in (11, 50, 100):
+        means[f"test_sweep_snapshot_build[n{n:03d}]"] = 0.010 * n * scale
+        means[f"test_sweep_full_epoch[n{n:03d}]"] = 0.015 * n * scale
+    return means
+
+
+def test_sweep_entries_gated(files, capsys):
+    __, summary, __, tmp_path = files
+    raw = tmp_path / "sweep_raw.json"
+    raw.write_text(json.dumps(raw_doc(sweep_means())))
+    assert main(["distill", str(raw), "-o", str(summary)]) == 0
+    assert main(["check", str(raw), "--reference", str(summary)]) == 0
+    out = capsys.readouterr().out
+    assert "test_sweep_full_epoch[n100]" in out
+    assert "100 regions" in out
+
+    # Sweep entries get a looser 50% gate (few-round timings are noisy;
+    # the hard guarantee is the absolute budget): 1.4x passes, 2x fails.
+    noisy = sweep_means()
+    noisy["test_sweep_full_epoch[n050]"] *= 1.4
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(json.dumps(raw_doc(noisy)))
+    assert main(["check", str(fresh), "--reference", str(summary)]) == 0
+
+    regressed = sweep_means()
+    regressed["test_sweep_full_epoch[n050]"] *= 2.0
+    fresh.write_text(json.dumps(raw_doc(regressed)))
+    assert main(["check", str(fresh), "--reference", str(summary)]) == 1
+
+
+def test_missing_sweep_point_skipped(files, capsys):
+    """A reference sweep point absent from the fresh run is skipped —
+    CI's scale-smoke job runs a subset of the sweep — while a missing
+    *fixed* gated benchmark still fails."""
+    __, summary, __, tmp_path = files
+    raw = tmp_path / "sweep_raw.json"
+    raw.write_text(json.dumps(raw_doc(sweep_means())))
+    assert main(["distill", str(raw), "-o", str(summary)]) == 0
+    subset = {k: v for k, v in sweep_means().items()
+              if "[n050]" not in k}
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(json.dumps(raw_doc(subset)))
+    assert main(["check", str(fresh), "--reference", str(summary)]) == 0
+    out = capsys.readouterr().out
+    assert "test_sweep_full_epoch[n050]: not in this run" in out
+
+
+def test_sweep_budget_enforced(files):
+    """A 100-region full epoch above two seconds fails even with the
+    regression gate wide open; a 200-region one does not (frontier)."""
+    __, summary, __, tmp_path = files
+    raw = tmp_path / "sweep_raw.json"
+    raw.write_text(json.dumps(raw_doc(sweep_means())))
+    assert main(["distill", str(raw), "-o", str(summary)]) == 0
+
+    over = sweep_means()
+    over["test_sweep_full_epoch[n100]"] = 2.5
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(json.dumps(raw_doc(over)))
+    assert main(["check", str(fresh), "--reference", str(summary),
+                 "--max-regression", "1000"]) == 1
+
+    frontier = sweep_means()
+    frontier["test_sweep_full_epoch[n200]"] = 9.0
+    fresh.write_text(json.dumps(raw_doc(frontier)))
+    assert main(["check", str(fresh), "--reference", str(summary),
+                 "--max-regression", "1000"]) == 0
+
+
+def test_sweep_only_ignores_missing_fixed_benchmarks(files, capsys):
+    """CI's scale-smoke job runs the sweep alone; --sweep-only must not
+    fail on the absent fixed benchmarks but still gate sweep entries."""
+    __, summary, __, tmp_path = files
+    raw = tmp_path / "sweep_raw.json"
+    raw.write_text(json.dumps(raw_doc(sweep_means())))
+    assert main(["distill", str(raw), "-o", str(summary)]) == 0
+    only_sweep = {k: v for k, v in sweep_means().items() if "[" in k}
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(json.dumps(raw_doc(only_sweep)))
+    # Without the flag the missing fixed benchmarks fail the gate.
+    assert main(["check", str(fresh), "--reference", str(summary)]) == 1
+    assert main(["check", str(fresh), "--reference", str(summary),
+                 "--sweep-only"]) == 0
+    assert "skipped (--sweep-only)" in capsys.readouterr().out
+    regressed = dict(only_sweep)
+    regressed["test_sweep_full_epoch[n050]"] *= 2.0
+    fresh.write_text(json.dumps(raw_doc(regressed)))
+    assert main(["check", str(fresh), "--reference", str(summary),
+                 "--sweep-only"]) == 1
+
+
+def test_new_sweep_point_without_reference_skipped(files, capsys):
+    """A fresh sweep point with no committed reference reports but does
+    not gate — its budget is still enforced."""
+    __, summary, __, tmp_path = files
+    raw = tmp_path / "sweep_raw.json"
+    raw.write_text(json.dumps(raw_doc(sweep_means())))
+    assert main(["distill", str(raw), "-o", str(summary)]) == 0
+    extra = sweep_means()
+    extra["test_sweep_full_epoch[n075]"] = 0.5
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(json.dumps(raw_doc(extra)))
+    assert main(["check", str(fresh), "--reference", str(summary)]) == 0
+    out = capsys.readouterr().out
+    assert "test_sweep_full_epoch[n075] (75 regions): no committed " \
+        "reference, skipping" in out
+
+    extra["test_sweep_full_epoch[n075]"] = 3.0  # breaks the budget
+    fresh.write_text(json.dumps(raw_doc(extra)))
+    assert main(["check", str(fresh), "--reference", str(summary)]) == 1

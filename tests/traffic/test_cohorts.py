@@ -1,0 +1,134 @@
+"""Stream cohorts: aggregated session bundles for planet-scale SIBs."""
+
+import numpy as np
+import pytest
+
+from repro.controlplane.model import ControlConfig
+from repro.controlplane.pathcontrol import path_control
+from repro.core.config import SimulationConfig
+from repro.core.simulator import EpochSimulator
+from repro.core.variants import xron
+from repro.traffic.cohorts import CohortWorkload, StreamCohort
+from repro.traffic.demand import DemandModel
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.streams import Stream, VIDEO_PROFILES
+from repro.underlay.regions import default_regions
+from repro.underlay.topology import build_underlay
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    demand = DemandModel(default_regions(), seed=3)
+    return TrafficMatrix.from_model(demand, 8 * 3600.0)
+
+
+def test_cohorts_are_streams(matrix):
+    cohorts = CohortWorkload(seed=1).decompose(matrix)
+    assert cohorts
+    for c in cohorts:
+        assert isinstance(c, Stream)
+        assert isinstance(c, StreamCohort)
+        assert c.demand_mbps > 0
+        assert c.sessions > 0
+        assert c.session_count >= 1
+
+
+def test_decompose_is_deterministic_per_seed(matrix):
+    a = CohortWorkload(seed=1).decompose(matrix)
+    b = CohortWorkload(seed=1).decompose(matrix)
+    assert [(c.src, c.dst, c.demand_mbps, c.sessions, c.components)
+            for c in a] == \
+           [(c.src, c.dst, c.demand_mbps, c.sessions, c.components)
+            for c in b]
+    c = CohortWorkload(seed=2).decompose(matrix)
+    assert [(x.demand_mbps, x.components) for x in a] != \
+           [(x.demand_mbps, x.components) for x in c]
+
+
+def test_demand_is_conserved(matrix):
+    w = CohortWorkload(seed=1, cohorts_per_pair=3)
+    cohorts = w.decompose(matrix)
+    total = sum(c.demand_mbps for c in cohorts)
+    assert total == pytest.approx(matrix.total(), rel=1e-9)
+    assert w.last_stats.dropped_pairs == 0
+    assert w.last_stats.demand_mbps == pytest.approx(total)
+    # Per-cohort: component demands sum to the cohort demand.
+    for c in cohorts:
+        assert sum(d for (__, __, d) in c.components) == \
+            pytest.approx(c.demand_mbps, rel=1e-9)
+
+
+def test_memory_is_bounded_by_pairs(matrix):
+    n_pairs = sum(1 for __, d in matrix.items() if d > 0)
+    for k in (1, 2, 4):
+        cohorts = CohortWorkload(seed=1, cohorts_per_pair=k).decompose(matrix)
+        assert len(cohorts) <= n_pairs * k
+
+
+def test_min_pair_floor_accounts_dropped_demand(matrix):
+    w = CohortWorkload(seed=1, min_pair_mbps=1e9)  # drop everything
+    cohorts = w.decompose(matrix)
+    assert cohorts == []
+    assert w.last_stats.dropped_mbps == pytest.approx(matrix.total())
+    assert w.last_stats.dropped_pairs == \
+        sum(1 for __, d in matrix.items() if d > 0)
+
+
+def test_expand_reconstructs_equivalent_sessions(matrix):
+    w = CohortWorkload(seed=1)
+    cohorts = w.decompose(matrix)[:40]
+    sessions = w.expand(cohorts)
+    assert sum(s.demand_mbps for s in sessions) == \
+        pytest.approx(sum(c.demand_mbps for c in cohorts), rel=1e-9)
+    rates = {p.bitrate_mbps for p in VIDEO_PROFILES}
+    full = [s for s in sessions if s.demand_mbps in rates]
+    assert len(full) > len(sessions) * 0.5  # mostly full-rate sessions
+
+
+def test_expand_guards_against_planetary_blowup(matrix):
+    w = CohortWorkload(seed=1)
+    cohorts = w.decompose(matrix)
+    with pytest.raises(ValueError, match="max_sessions"):
+        w.expand(cohorts, max_sessions=10)
+
+
+def test_export_import_round_trip(matrix):
+    w = CohortWorkload(seed=1)
+    w.decompose(matrix)
+    state = w.export_state()
+    fresh = CohortWorkload(seed=1)
+    fresh.import_state(state)
+    # Fresh ids continue after the imported counter, never reused.
+    next_cohorts = fresh.decompose(matrix)
+    assert min(c.stream_id for c in next_cohorts) == state["next_id"]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CohortWorkload(cohorts_per_pair=0)
+    with pytest.raises(ValueError):
+        CohortWorkload(mix_jitter=1.5)
+    with pytest.raises(ValueError):
+        CohortWorkload(min_pair_mbps=-1.0)
+    with pytest.raises(ValueError):
+        StreamCohort(1, "A", "B", 1.0, VIDEO_PROFILES[0], sessions=-1.0)
+
+
+def test_path_control_accepts_cohorts(matrix):
+    u = build_underlay(seed=2)
+    cohorts = CohortWorkload(seed=1).decompose(matrix)
+    snap = u.snapshot(3600.0)
+    result = path_control(cohorts, u.codes, snap, ControlConfig(),
+                          gateways={c: 8 for c in u.codes}, fees=u.pricing)
+    assert result.total_assigned_mbps() > 0
+
+
+def test_epoch_simulator_runs_with_cohorts():
+    u = build_underlay(seed=2)
+    demand = DemandModel(default_regions(), seed=3)
+    cfg = SimulationConfig(epoch_s=300.0, eval_step_s=60.0, seed=2,
+                           stream_cohorts=True, cohorts_per_pair=2)
+    result = EpochSimulator(u, demand, xron(), sim_config=cfg).run(
+        start_s=0.0, duration_s=600.0)
+    assert result.latency_ms.size > 0
+    assert np.isfinite(result.latency_ms).any()
