@@ -205,6 +205,80 @@ def test_sweep_path_control(benchmark, n_regions):
         assert benchmark.stats["mean"] < EPOCH_BUDGET_S
 
 
+@pytest.mark.parametrize("n_regions", (100,), ids=_sweep_id)
+def test_sweep_epoch_phase_profile(n_regions, tmp_path, capsys):
+    """The phase profiler must account for the full epoch: the sum of
+    the top-level ``algo_step`` phases has to land within 5% of the
+    measured epoch wall time on the n100 sweep scenario, both against
+    the controller's own ``control_epoch`` clock and against an
+    external `perf_counter` measurement around `run_epoch`.  Also
+    round-trips the trace through `repro obs profile`."""
+    import time
+
+    from repro import obs
+    from repro.cli import main as cli_main
+    from repro.controlplane.controller import Controller
+    from repro.controlplane.nib import LinkReport
+    from repro.obs.export import write_jsonl
+    from repro.obs.profile import profile_events
+    from repro.underlay.linkstate import LinkType
+    from repro.underlay.snapshot import TYPE_INDEX
+
+    u, __, gateways = _sweep_scenario(n_regions)
+    matrix = TrafficMatrix.from_model(DemandModel(u.regions,
+                                                  seed=_SWEEP_SEED),
+                                      _SWEEP_DEMAND_T)
+    controller = Controller(u.codes, ControlConfig(), pricing=u.pricing,
+                            workload=CohortWorkload(seed=_SWEEP_SEED,
+                                                    cohorts_per_pair=2),
+                            seed=_SWEEP_SEED)
+    # Feed the NIB noise-free true link states (the data plane's job in
+    # a full simulation) so run_epoch sees a fully populated topology.
+    snap = u.snapshot(_SWEEP_SNAP_T)
+    index = snap.index
+    reports = []
+    for lt in (LinkType.INTERNET, LinkType.PREMIUM):
+        lat_m = snap.lat[TYPE_INDEX[lt]]
+        loss_m = snap.loss[TYPE_INDEX[lt]]
+        for a in u.codes:
+            for b in u.codes:
+                lat = float(lat_m[index[a], index[b]])
+                if a == b or not np.isfinite(lat):
+                    continue
+                reports.append(LinkReport(
+                    a, b, lt, lat, float(loss_m[index[a], index[b]]),
+                    _SWEEP_SNAP_T))
+    controller.nib.update_many(reports)
+
+    with obs.capture() as hub:
+        t0 = time.perf_counter()
+        controller.run_epoch(_SWEEP_SNAP_T, matrix, gateways)
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        events = hub.events_json()
+
+    profile = profile_events(events)
+    assert profile.epochs == 1
+    steps = {p.step for p in profile.phases}
+    assert {"predict", "link_snapshot", "algo1.path_control",
+            "capacity_control", "algo2.reaction_plans"} <= steps
+    # Coverage: top-level phase sum within 5% of both wall clocks.
+    assert profile.phase_total_ms <= wall_ms
+    assert profile.phase_total_ms >= 0.95 * wall_ms
+    assert 0.95 <= profile.coverage <= 1.0 + 1e-9
+    # Demand-weighted pair attribution sums to the algo1 phase total.
+    algo1 = next(p for p in profile.phases
+                 if p.step == "algo1.path_control")
+    if profile.pair_share_ms:
+        assert sum(profile.pair_share_ms.values()) == pytest.approx(
+            algo1.total_ms, rel=1e-6)
+    # CLI round trip: `repro obs profile` renders the same folding.
+    trace = tmp_path / "epoch.jsonl"
+    write_jsonl(trace, events, metrics=hub.metrics.snapshot())
+    assert cli_main(["obs", "profile", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "algo1.path_control" in out and "(phases, top level)" in out
+
+
 @pytest.mark.parametrize("n_regions", SWEEP_REGIONS, ids=_sweep_id)
 @pytest.mark.benchmark(min_rounds=3)
 def test_sweep_full_epoch(benchmark, n_regions):

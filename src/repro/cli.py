@@ -8,7 +8,9 @@ Commands:
   operator summary (QoE, tails, bill).
 * ``demo`` — the event-driven deployment, minute-scale, live mechanisms.
 * ``info`` — the deployment at a glance (regions, links, pricing).
-* ``obs`` — inspect telemetry JSONL files (``obs summary run.jsonl``).
+* ``obs`` — inspect telemetry JSONL files: ``obs summary run.jsonl``
+  (accepts several files or a quoted glob over rotated stream parts)
+  and ``obs profile`` for the control-epoch phase breakdown.
 """
 
 from __future__ import annotations
@@ -60,19 +62,57 @@ def _write_telemetry(path: str, hub, **meta) -> None:
     print(f"telemetry: {out}", file=sys.stderr)
 
 
-def _cmd_obs(args: argparse.Namespace) -> int:
-    from repro.obs.export import TelemetryFormatError, read_jsonl
-    from repro.obs.summary import render, summarize
+def _expand_paths(patterns: List[str]) -> Optional[List[str]]:
+    """Expand glob patterns (quoted through the shell) in file order.
 
+    Literal paths pass through untouched; glob matches are sorted, so
+    zero-padded stream parts (``run.00000.jsonl``, ...) arrive in
+    emission order.  Returns None (after printing) when a pattern
+    matches nothing.
+    """
+    import glob as _glob
+
+    paths: List[str] = []
+    for pattern in patterns:
+        if any(ch in pattern for ch in "*?["):
+            matches = sorted(_glob.glob(pattern))
+            if not matches:
+                print(f"error: no files match {pattern!r}", file=sys.stderr)
+                return None
+            paths.extend(matches)
+        else:
+            paths.append(pattern)
+    return paths
+
+
+def _read_telemetry(args: argparse.Namespace):
+    """Shared ``obs`` input path: expand, read, merge (or None on error)."""
+    from repro.obs.export import (TelemetryFormatError, read_jsonl,
+                                  read_many)
+
+    paths = _expand_paths(args.paths)
+    if paths is None:
+        return None
+    allow = getattr(args, "allow_partial", False)
     try:
-        doc = read_jsonl(args.path)
+        if len(paths) == 1:
+            return read_jsonl(paths[0], allow_partial_tail=allow)
+        return read_many(paths, allow_partial_tail=allow)
     except (OSError, TelemetryFormatError) as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.summary import render, summarize
+
+    doc = _read_telemetry(args)
+    if doc is None:
         return 1
     summary = summarize(doc)
     if summary.empty:
-        print(f"error: {args.path} holds no events and no metrics",
-              file=sys.stderr)
+        print(f"error: {', '.join(args.paths)} holds no events and no "
+              f"metrics", file=sys.stderr)
         return 1
     try:
         for line in render(summary, max_metrics=args.max_metrics):
@@ -82,6 +122,23 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         # detach stdout so the interpreter's shutdown flush stays quiet.
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
+    return 0
+
+
+def _cmd_obs_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import profile_events
+    from repro.obs.profile import render as render_profile
+
+    doc = _read_telemetry(args)
+    if doc is None:
+        return 1
+    profile = profile_events(doc.events)
+    if not profile.phases:
+        print(f"error: {', '.join(args.paths)} holds no algo_step span "
+              f"events to profile", file=sys.stderr)
+        return 1
+    for line in render_profile(profile, max_pairs=args.max_pairs):
+        print(line)
     return 0
 
 
@@ -122,13 +179,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_demo(args: argparse.Namespace) -> int:
+def _build_demo_system(args: argparse.Namespace, slo_engine):
+    """Construct the demo deployment; returns (system, start_s, regions).
+
+    The default demo is the full region set on a stochastic underlay;
+    ``--chaos`` swaps in the chaos-reaction testbed — a calm 3-region
+    underlay with one injected 4000 ms degradation riding under a
+    probing blackout, so the local loop never sees the signal and the
+    SLO engine has a guaranteed fault-attributable breach to report.
+    """
     from repro.core.config import SimulationConfig
     from repro.core.eventsim import EventDrivenXRON
     from repro.traffic.demand import DemandModel
     from repro.underlay.config import UnderlayConfig
     from repro.underlay.regions import default_regions
     from repro.underlay.topology import build_underlay
+
+    if args.chaos:
+        from dataclasses import replace
+
+        from repro.core.variants import xron
+        from repro.experiments.chaos_reaction import _build_quiet
+        from repro.faults import FaultSchedule, probe_blackout
+        from repro.underlay.events import DegradationEvent
+        from repro.underlay.linkstate import LinkType
+        from repro.underlay.scenarios import inject_events
+
+        underlay, demand = _build_quiet(args.seed)
+        pair = max(demand.pairs, key=lambda p: demand.pair_scale(*p))
+        start = 3600.0
+        inject_events(underlay, pair[0], pair[1], LinkType.INTERNET,
+                      [DegradationEvent(start + 90.0, 60.0, 4000.0, 0.3)])
+        schedule = FaultSchedule.of(
+            probe_blackout(start + 70.0, 120.0, region=pair[0]))
+        system = EventDrivenXRON(
+            underlay, demand, variant=replace(xron(), elastic=False),
+            sim_config=SimulationConfig(epoch_s=60.0, eval_step_s=60.0,
+                                        seed=args.seed, demand_scale=0.05,
+                                        initial_gateways=4),
+            tracked_pairs=[pair], measure_interval_s=0.5,
+            faults=schedule, slo=slo_engine)
+        return system, start, len(underlay.codes)
 
     regions = default_regions()
     underlay = build_underlay(regions, UnderlayConfig(horizon_s=6 * 3600.0),
@@ -137,16 +228,56 @@ def _run_demo(args: argparse.Namespace) -> int:
     system = EventDrivenXRON(
         underlay, demand,
         sim_config=SimulationConfig(epoch_s=60.0, eval_step_s=10.0,
-                                    seed=args.seed))
-    print(f"event-driven run: {args.minutes:g} min across "
-          f"{len(regions)} regions ...")
-    if args.telemetry:
+                                    seed=args.seed),
+        slo=slo_engine)
+    return system, 2 * 3600.0, len(regions)
+
+
+def _run_demo(args: argparse.Namespace) -> int:
+    duration_s = args.minutes * 60.0
+    use_capture = bool(args.telemetry or args.stream or args.slo)
+    if use_capture:
         from repro import obs
         with obs.capture() as hub:
-            result = system.run(2 * 3600.0, args.minutes * 60.0)
-        _write_telemetry(args.telemetry, hub, command="demo")
-    else:
-        result = system.run(2 * 3600.0, args.minutes * 60.0)
+            stream = None
+            if args.stream:
+                stream = hub.attach_stream(
+                    args.stream, max_bytes=args.stream_max_kb * 1024,
+                    meta={"command": "demo",
+                          "mode": "chaos" if args.chaos else "default"})
+            engine = None
+            if args.slo:
+                from repro.obs.slo import SLOEngine
+                from repro.qoe.metrics import qoe_badness
+                engine = SLOEngine(badness=qoe_badness())
+            system, start, n_regions = _build_demo_system(args, engine)
+            print(f"event-driven run: {args.minutes:g} min across "
+                  f"{n_regions} regions"
+                  + (" (chaos testbed)" if args.chaos else "") + " ...")
+            result = system.run(start, duration_s)
+            _print_demo_result(result)
+            if engine is not None:
+                for line in engine.render_report():
+                    print(line)
+                engine.close()
+            if stream is not None:
+                hub.detach_stream(close=True)
+                print(f"stream: {stream.events_written:,} events across "
+                      f"{len(stream.paths)} part file(s), last "
+                      f"{stream.paths[-1]}", file=sys.stderr)
+        if args.telemetry:
+            _write_telemetry(args.telemetry, hub, command="demo")
+        return 0
+    system, start, n_regions = _build_demo_system(args, None)
+    print(f"event-driven run: {args.minutes:g} min across "
+          f"{n_regions} regions"
+          + (" (chaos testbed)" if args.chaos else "") + " ...")
+    result = system.run(start, duration_s)
+    _print_demo_result(result)
+    return 0
+
+
+def _print_demo_result(result) -> None:
     print(f"events {result.events_processed:,} | epochs "
           f"{len(result.control_outputs)} | detections {result.detections}"
           f" | probe MB {result.probe_bytes / 1e6:.0f}")
@@ -157,7 +288,6 @@ def _run_demo(args: argparse.Namespace) -> int:
         print(f"  {pair[0]}->{pair[1]}: {len(record.times)} samples, "
               f"avg {lat.mean():.0f} ms, backup "
               f"{record.backup_fraction() * 100:.1f}%")
-    return 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -215,6 +345,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--seed", type=int, default=11)
     p_demo.add_argument("--telemetry", default=None, metavar="PATH",
                         help="capture metrics/trace events to a JSONL file")
+    p_demo.add_argument("--stream", default=None, metavar="PATH",
+                        help="stream telemetry live to rotated JSONL parts "
+                             "next to PATH (crash-safe; see obs summary)")
+    p_demo.add_argument("--stream-max-kb", type=int, default=256,
+                        metavar="KB",
+                        help="rotate stream parts at this size "
+                             "(default 256)")
+    p_demo.add_argument("--slo", action="store_true",
+                        help="arm the per-stream SLO engine (QoE-based "
+                             "badness) and print its ledger")
+    p_demo.add_argument("--chaos", action="store_true",
+                        help="run the chaos testbed: one degradation "
+                             "hidden by a probing blackout")
     p_demo.set_defaults(fn=_run_demo)
 
     p_info = sub.add_parser("info", help="deployment at a glance")
@@ -225,10 +368,25 @@ def build_parser() -> argparse.ArgumentParser:
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
     p_sum = obs_sub.add_parser("summary",
                                help="human-readable telemetry summary")
-    p_sum.add_argument("path", help="telemetry JSONL file")
+    p_sum.add_argument("paths", nargs="+",
+                       help="telemetry JSONL file(s); quoted globs "
+                            "(e.g. 'run.*.jsonl') merge rotated parts")
     p_sum.add_argument("--max-metrics", type=int, default=40,
                        help="cap the metrics table (default 40)")
+    p_sum.add_argument("--allow-partial", action="store_true",
+                       help="tolerate a crash-truncated final line")
     p_sum.set_defaults(fn=_cmd_obs)
+    p_prof = obs_sub.add_parser(
+        "profile", help="control-epoch phase breakdown from algo_step "
+                        "spans")
+    p_prof.add_argument("paths", nargs="+",
+                        help="telemetry JSONL file(s) or quoted globs")
+    p_prof.add_argument("--max-pairs", type=int, default=10,
+                        help="cap the per-pair attribution table "
+                             "(default 10)")
+    p_prof.add_argument("--allow-partial", action="store_true",
+                        help="tolerate a crash-truncated final line")
+    p_prof.set_defaults(fn=_cmd_obs_profile)
 
     return parser
 

@@ -190,6 +190,14 @@ class Controller:
         self.epochs_run += 1
         if traced:
             _TEL.counter("controller.epochs").inc()
+            # Per-pair demand attribution for the phase profiler
+            # (`repro.obs.profile`): the heaviest assigned pairs and
+            # their Mbps, so path-control time can be apportioned.
+            pair_mbps: Dict[Tuple[str, str], float] = {}
+            for a in r_cur.assignments:
+                key = (a.stream.src, a.stream.dst)
+                pair_mbps[key] = pair_mbps.get(key, 0.0) + a.mbps
+            top = sorted(pair_mbps.items(), key=lambda kv: (-kv[1], kv[0]))
             _TEL.event(
                 "control_epoch", t=now,
                 streams=len(streams),
@@ -199,6 +207,10 @@ class Controller:
                 reaction_plans=len(plans),
                 predicted_mbps=round(predicted.total(), 3),
                 observed_mbps=round(observed_matrix.total(), 3),
+                assigned_mbps=round(r_cur.total_assigned_mbps(), 3),
+                pairs=len(pair_mbps),
+                top_pairs=[[src, dst, round(mbps, 3)]
+                           for (src, dst), mbps in top[:16]],
                 capacity_target=decision.total_target(),
                 duration_ms=round((time.perf_counter() - t0) * 1e3, 3))
         return ControlOutput(now, r_cur, decision, plans, predicted, streams)

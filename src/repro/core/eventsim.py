@@ -121,7 +121,8 @@ class EventDrivenXRON:
                  controller_outage: Optional[Tuple[float, float]] = None,
                  faults: Optional[FaultSchedule] = None,
                  resilience: Optional[ResilienceConfig] = None,
-                 sib_params: Optional[Dict[str, int]] = None):
+                 sib_params: Optional[Dict[str, int]] = None,
+                 slo: Optional[object] = None):
         """`faults` is a declarative `FaultSchedule` of timed failures
         (gateway crashes, probe blackouts, NIB report loss/staleness,
         delayed/partial installs, provisioning storms, controller
@@ -140,6 +141,12 @@ class EventDrivenXRON:
         (``history_slots``, ``refit_every``, ``min_history``) so
         short-epoch deployments can fit the demand model within the run.
 
+        `slo` is an optional `repro.obs.slo.SLOEngine` fed every
+        tracked-session measurement sample (latency/loss, or the
+        blackholed flag).  The engine is a passive observer: it draws
+        no randomness and never touches simulator state, so arming it
+        leaves simulation output byte-identical.
+
         `controller_outage` = (start_s, end_s) is the deprecated
         pre-schedule spelling of one controller outage; it is folded
         into the schedule."""
@@ -157,6 +164,7 @@ class EventDrivenXRON:
         self.measure_interval_s = measure_interval_s
         self.passive_flush_s = passive_flush_s
         self.controller_outage = controller_outage
+        self._slo = slo
         schedule = faults if faults is not None else FaultSchedule.empty()
         if controller_outage is not None:
             warnings.warn(
@@ -337,7 +345,9 @@ class EventDrivenXRON:
                 _TEL.event("fault_controller_outage", t=now,
                            outage_start=outage.start_s,
                            outage_end=outage.end_s,
-                           skipped_epochs=self.skipped_epochs)
+                           skipped_epochs=self.skipped_epochs,
+                           fault_id=self._injector.fault_id(outage))
+                _TEL.flush_stream(now)
             if self.resilience is not None and self.resilience.model_restart:
                 # The outage killed the process: the first epoch after it
                 # ends must restart the controller (cold or warm).
@@ -389,6 +399,10 @@ class EventDrivenXRON:
                 and self._epoch_seq
                 % self.resilience.checkpoint_every_epochs == 0):
             self._take_checkpoint(now)
+        if _TEL.enabled:
+            # Epoch boundary: push the accumulated metric deltas to an
+            # attached telemetry stream (no-op without one).
+            _TEL.flush_stream(now)
 
     def _rebind_sessions(self, output: ControlOutput, now: float) -> None:
         """Re-bind tracked sessions to this epoch's stream ids."""
@@ -456,13 +470,15 @@ class EventDrivenXRON:
             if keep < 1.0:
                 entries, plans = self._apply_partial(
                     code, cluster, entries, plans, keep, now)
-            delay = self._injector.install_delay(code, now)
+            delay_spec = self._injector.install_delay_spec(code, now)
+            delay = delay_spec.delay_s if delay_spec is not None else 0.0
             if delay > 0.0:
                 self._injector.counters.installs_delayed += 1
                 if _TEL.enabled:
                     _TEL.counter("fault.installs_delayed").inc()
                     _TEL.event("fault_install_delayed", t=now, region=code,
-                               delay_s=delay)
+                               delay_s=delay,
+                               fault_id=self._injector.fault_id(delay_spec))
                 sim.schedule(
                     delay,
                     lambda seq=self._epoch_seq: self._late_install(
@@ -512,7 +528,9 @@ class EventDrivenXRON:
             _TEL.counter("fault.installs_truncated").inc()
             _TEL.event("fault_install_partial", t=now, region=code,
                        fresh=len(kept), stale=len(merged) - len(kept),
-                       keep_fraction=keep)
+                       keep_fraction=keep,
+                       fault_id=self._injector.fault_id(
+                           self._injector.install_partial_spec(code, now)))
         return merged, merged_plans
 
     # --------------------------------------------------- two-phase installs
@@ -527,7 +545,7 @@ class EventDrivenXRON:
             if key not in seen:
                 seen.add(key)
                 streams.append(key)
-        version = self._installer.next_version()
+        version = self._installer.next_version(sim.now)
         self._attempt_install(sim, output, plans_by_region, streams,
                               version, attempt=1)
 
@@ -551,13 +569,17 @@ class EventDrivenXRON:
                 if keep < 1.0:
                     entries, plans = self._apply_partial(
                         code, cluster, entries, plans, keep, now)
-                delay = self._injector.install_delay(code, now)
+                delay_spec = self._injector.install_delay_spec(code, now)
+                delay = (delay_spec.delay_s if delay_spec is not None
+                         else 0.0)
                 if delay > 0.0:
                     self._injector.counters.installs_delayed += 1
                     if _TEL.enabled:
                         _TEL.counter("fault.installs_delayed").inc()
-                        _TEL.event("fault_install_delayed", t=now,
-                                   region=code, delay_s=delay)
+                        _TEL.event(
+                            "fault_install_delayed", t=now, region=code,
+                            delay_s=delay,
+                            fault_id=self._injector.fault_id(delay_spec))
                     max_delay = max(max_delay, delay)
             delivered_t[code] = entries
             delivered_p[code] = plans
@@ -590,12 +612,15 @@ class EventDrivenXRON:
             self._install_seq[code] = self._epoch_seq
             cluster.install(delivered_t[code], delivered_p[code],
                             version=version, now=now)
-        self._installer.mark_committed(version)
+        self._installer.mark_committed(version, now)
         if _TEL.enabled:
             _TEL.counter("resilience.installs_committed").inc()
+            latency = self._installer.last_commit_latency_s
             _TEL.event("resilience_install_commit", t=now, version=version,
                        attempt=attempt,
-                       rows=sum(len(t) for t in delivered_t.values()))
+                       rows=sum(len(t) for t in delivered_t.values()),
+                       latency_s=(round(latency, 6)
+                                  if latency is not None else None))
         # Bind-on-commit: tracked sessions only move to the new epoch's
         # stream ids once the tables that know those ids are live.
         self._rebind_sessions(output, now)
@@ -643,18 +668,22 @@ class EventDrivenXRON:
         """Fire one gateway-crash window (and queue its restarts)."""
         codes = ([spec.region] if spec.region is not None
                  else sorted(self.clusters))
+        fault_id = self._injector.fault_id(spec)
         for code in codes:
-            victims = self.clusters[code].crash_gateways(spec.count, sim.now)
+            victims = self.clusters[code].crash_gateways(
+                spec.count, sim.now, fault_id=fault_id)
             self._injector.counters.gateways_crashed += len(victims)
             if victims and spec.restart and math.isfinite(spec.end_s):
                 sim.schedule_at(
                     max(spec.end_s, sim.now),
                     lambda code=code, n=len(victims): self._apply_restart(
-                        sim, code, n),
+                        sim, code, n, fault_id),
                     priority=-1)
 
-    def _apply_restart(self, sim: Simulator, code: str, count: int) -> None:
-        started = self.clusters[code].restore_gateways(count, sim.now)
+    def _apply_restart(self, sim: Simulator, code: str, count: int,
+                       fault_id: Optional[int] = None) -> None:
+        started = self.clusters[code].restore_gateways(
+            count, sim.now, fault_id=fault_id)
         self._injector.counters.gateways_restarted += len(started)
 
     def _measure(self, sim: Simulator) -> None:
@@ -669,6 +698,9 @@ class EventDrivenXRON:
                 # Missing table row or routing loop: the stream had
                 # nowhere to go this tick (blackholed-stream-seconds).
                 record.blackholed.append(now)
+                if self._slo is not None:
+                    self._slo.observe(f"{pair[0]}->{pair[1]}", now,
+                                      blackholed=True)
                 continue
             latency = 0.0
             survive = 1.0
@@ -692,6 +724,9 @@ class EventDrivenXRON:
             record.loss_rate.append(1.0 - survive)
             record.on_backup.append(on_backup)
             record.hop_counts.append(len(hops))
+            if self._slo is not None:
+                self._slo.observe(f"{pair[0]}->{pair[1]}", now,
+                                  latency, 1.0 - survive)
 
     def _walk(self, pair: RegionPair, stream_id: int,
               now: Optional[float] = None

@@ -229,10 +229,16 @@ class EpochSimulator:
     def __init__(self, underlay: Underlay, demand: DemandModel,
                  variant: VariantSpec,
                  sim_config: Optional[SimulationConfig] = None,
-                 control_config: Optional[ControlConfig] = None):
+                 control_config: Optional[ControlConfig] = None,
+                 slo: Optional[object] = None):
+        """`slo` is an optional `repro.obs.slo.SLOEngine` fed every
+        pair's evaluated latency/loss series at each epoch (a passive
+        observer: no RNG draws, no simulator state — output stays
+        byte-identical with it armed)."""
         self.underlay = underlay
         self.demand = demand
         self.variant = variant
+        self._slo = slo
         self.sim_config = (sim_config if sim_config is not None
                            else SimulationConfig())
         self.control_config = (control_config if control_config is not None
@@ -367,6 +373,15 @@ class EpochSimulator:
                                  backup, pair_idx, ledger, e, internet_gb,
                                  premium_gb, reaction_hops, cfg.epoch_s,
                                  rep_paths)
+            if self._slo is not None:
+                for pair, i in pair_idx.items():
+                    self._slo.observe_series(
+                        f"{pair[0]}->{pair[1]}", times[sl],
+                        latency[i, sl], loss[i, sl])
+            if _TEL.enabled:
+                # Epoch boundary: push accumulated metric deltas to an
+                # attached telemetry stream (no-op without one).
+                _TEL.flush_stream(now)
 
         if self.variant.overlay_relaying:
             end = start_s + n_epochs * cfg.epoch_s

@@ -99,15 +99,17 @@ class RegionCluster:
             victim = max(self.gateways)
             del self.gateways[victim]
 
-    def crash_gateways(self, count: int, now: Optional[float] = None
-                       ) -> List[int]:
+    def crash_gateways(self, count: int, now: Optional[float] = None,
+                       fault_id: Optional[int] = None) -> List[int]:
         """Fault injection: `count` gateways fail abruptly.
 
         The *lowest* ids die first — those are the stable probing
         representatives, so a crash also wipes the freshest monitoring
         state (the harshest realistic case).  At least one gateway
         always survives; the crashed ids are returned so the injector
-        can restart as many later.
+        can restart as many later.  `fault_id` (the schedule-order id
+        of the driving spec) rides on the telemetry event so breaches
+        can be traced back to the injected fault.
         """
         victims = sorted(self.gateways)[:max(0, min(count,
                                                     len(self.gateways) - 1))]
@@ -121,12 +123,15 @@ class RegionCluster:
         self._rr_index %= len(self.gateways)
         if victims and _TEL.enabled:
             _TEL.counter("fault.gateways_crashed").inc(len(victims))
-            _TEL.event("fault_gateway_crash", t=now, region=self.region,
-                       gateways=victims, survivors=len(self.gateways))
+            fields = {"region": self.region, "gateways": victims,
+                      "survivors": len(self.gateways)}
+            if fault_id is not None:
+                fields["fault_id"] = fault_id
+            _TEL.event("fault_gateway_crash", t=now, **fields)
         return victims
 
-    def restore_gateways(self, count: int, now: Optional[float] = None
-                         ) -> List[int]:
+    def restore_gateways(self, count: int, now: Optional[float] = None,
+                         fault_id: Optional[int] = None) -> List[int]:
         """Fault injection: start `count` replacement gateways.
 
         Replacements are fresh containers (new ids, cold estimators)
@@ -139,8 +144,11 @@ class RegionCluster:
             started.append(gateway.gateway_id)
         if started and _TEL.enabled:
             _TEL.counter("fault.gateways_restarted").inc(len(started))
-            _TEL.event("fault_gateway_restart", t=now, region=self.region,
-                       gateways=started, fleet=len(self.gateways))
+            fields = {"region": self.region, "gateways": started,
+                      "fleet": len(self.gateways)}
+            if fault_id is not None:
+                fields["fault_id"] = fault_id
+            _TEL.event("fault_gateway_restart", t=now, **fields)
         return started
 
     @property
@@ -165,23 +173,29 @@ class RegionCluster:
         if self.faults is not None:
             faults = self.faults
 
-            def blackout(dst: str, lt: LinkType) -> bool:
+            def blackout(dst, lt):
+                # Returns the matching FaultSpec (truthy) or None.
                 return faults.probe_blackout(self.region, dst, lt, now)
         for rep in reps:
             rep.probe_all(now, blackout=blackout)
         reports: List[LinkReport] = []
         degraded_links = 0
         blacked_out = 0
+        blacked_ids = set()
         for dst in self.underlay.codes:
             if dst == self.region:
                 continue
             for lt in (LinkType.INTERNET, LinkType.PREMIUM):
-                if blackout is not None and blackout(dst, lt):
+                spec = blackout(dst, lt) if blackout is not None else None
+                if spec:
                     # Blind spot: no group state, no NIB report — the
                     # controller sees this link age into staleness.
                     blacked_out += 1
                     if self.faults is not None:
                         self.faults.counters.probes_blacked_out += 1
+                        fid = self.faults.fault_id(spec)
+                        if fid is not None:
+                            blacked_ids.add(fid)
                     continue
                 estimates = [rep.estimator(dst, lt).estimate()
                              for rep in reps]
@@ -205,7 +219,8 @@ class RegionCluster:
                        degraded_links=degraded_links)
             if blacked_out:
                 _TEL.event("fault_probe_blackout", t=now,
-                           region=self.region, links=blacked_out)
+                           region=self.region, links=blacked_out,
+                           fault_ids=sorted(blacked_ids))
         return reports
 
     def flush_passive(self, now: float) -> None:

@@ -57,7 +57,22 @@ class FaultInjector:
         self._rng = rng
         self._by_kind: Dict[FaultKind, List[FaultSpec]] = {
             kind: schedule.by_kind(kind) for kind in FaultKind}
+        #: Schedule-order index per spec — the stable *fault id* that
+        #: telemetry events carry so SLO breaches can name their cause.
+        self._ids: Dict[FaultSpec, int] = {
+            spec: index for index, spec in enumerate(schedule.specs)}
         self.counters = FaultCounters()
+
+    def fault_id(self, spec: Optional[FaultSpec]) -> Optional[int]:
+        """The schedule-order id of `spec` (None for None / foreign specs).
+
+        Ids are the spec's index in the compiled schedule's sorted spec
+        tuple, so they are stable across runs of the same schedule and
+        across the injector's internal bucketing.
+        """
+        if spec is None:
+            return None
+        return self._ids.get(spec)
 
     # ------------------------------------------------------------- controller
     def controller_down(self, now: float) -> Optional[FaultSpec]:
@@ -69,12 +84,17 @@ class FaultInjector:
 
     # --------------------------------------------------------------- probing
     def probe_blackout(self, src: str, dst: str, link_type: LinkType,
-                       now: float) -> bool:
-        """Whether active probing of this directed link is blacked out."""
+                       now: float) -> Optional[FaultSpec]:
+        """The blackout spec covering this directed link, if any.
+
+        Truthiness-compatible with the old boolean API (a spec is
+        truthy); returning the spec lets the probing seam annotate its
+        telemetry with the matching fault id.
+        """
         for spec in self._by_kind[FaultKind.PROBE_BLACKOUT]:
             if spec.active(now) and spec.matches_link(src, dst, link_type):
-                return True
-        return False
+                return spec
+        return None
 
     def region_blackout(self, region: str, now: float) -> bool:
         """Whether a region-wide (dst-less) blackout covers `region`."""
@@ -111,21 +131,35 @@ class FaultInjector:
         return report
 
     # -------------------------------------------------------------- installs
-    def install_delay(self, region: str, now: float) -> float:
-        """How late this epoch's install lands in `region` (0 = on time)."""
-        delay = 0.0
+    def install_delay_spec(self, region: str,
+                           now: float) -> Optional[FaultSpec]:
+        """The governing (longest-delay) install-delay spec, if any."""
+        worst: Optional[FaultSpec] = None
         for spec in self._by_kind[FaultKind.INSTALL_DELAY]:
             if spec.active(now) and spec.matches_region(region):
-                delay = max(delay, spec.delay_s)
-        return delay
+                if worst is None or spec.delay_s > worst.delay_s:
+                    worst = spec
+        return worst
+
+    def install_delay(self, region: str, now: float) -> float:
+        """How late this epoch's install lands in `region` (0 = on time)."""
+        spec = self.install_delay_spec(region, now)
+        return spec.delay_s if spec is not None else 0.0
+
+    def install_partial_spec(self, region: str,
+                             now: float) -> Optional[FaultSpec]:
+        """The governing (lowest keep-fraction) partial spec, if any."""
+        worst: Optional[FaultSpec] = None
+        for spec in self._by_kind[FaultKind.INSTALL_PARTIAL]:
+            if spec.active(now) and spec.matches_region(region):
+                if worst is None or spec.keep_fraction < worst.keep_fraction:
+                    worst = spec
+        return worst
 
     def install_keep_fraction(self, region: str, now: float) -> float:
         """Fraction of the install that survives (1.0 = complete)."""
-        keep = 1.0
-        for spec in self._by_kind[FaultKind.INSTALL_PARTIAL]:
-            if spec.active(now) and spec.matches_region(region):
-                keep = min(keep, spec.keep_fraction)
-        return keep
+        spec = self.install_partial_spec(region, now)
+        return spec.keep_fraction if spec is not None else 1.0
 
     # ---------------------------------------------------------- provisioning
     def platform_load(self, region: str, now: float) -> float:

@@ -38,14 +38,18 @@ from __future__ import annotations
 from contextlib import contextmanager, nullcontext
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
+from pathlib import Path
+from typing import Union
+
 from repro.obs.metrics import (NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM,
                                Counter, Gauge, Histogram, MetricsRegistry)
+from repro.obs.stream import DEFAULT_MAX_BYTES, TelemetryStream
 from repro.obs.trace import TraceEvent, Tracer
 
 __all__ = [
     "Telemetry", "telemetry", "enable", "disable", "reset", "capture",
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
-    "Tracer", "TraceEvent",
+    "Tracer", "TraceEvent", "TelemetryStream",
 ]
 
 _NULL_SPAN = nullcontext()
@@ -59,6 +63,14 @@ class Telemetry:
         self.enabled = bool(enabled)
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(max_events=max_events)
+        # Drop accounting: hitting the tracer bound shows up as a real
+        # metric, not just a silent tracer attribute.
+        self.tracer.on_drop = self._count_drop
+        #: Attached live exporter (`repro.obs.stream`), None when absent.
+        self.stream: Optional[TelemetryStream] = None
+
+    def _count_drop(self) -> None:
+        self.metrics.counter("tracer.events_dropped").inc()
 
     # ------------------------------------------------------------- metrics
     def counter(self, name: str) -> Counter:
@@ -87,6 +99,48 @@ class Telemetry:
 
     def events_json(self) -> List[Dict[str, Any]]:
         return self.tracer.to_json()
+
+    # ------------------------------------------------------------ streaming
+    def attach_stream(self, target: Union[str, Path, TelemetryStream], *,
+                      max_bytes: int = DEFAULT_MAX_BYTES,
+                      meta: Optional[Dict[str, Any]] = None
+                      ) -> TelemetryStream:
+        """Attach a live JSONL exporter (path or prebuilt stream).
+
+        Every subsequently recorded trace event is written through as
+        it happens; call `flush_stream` at epoch boundaries (the
+        simulators do) to emit metric deltas.  One stream at a time.
+        """
+        if self.stream is not None:
+            raise RuntimeError("a telemetry stream is already attached")
+        stream = (target if isinstance(target, TelemetryStream)
+                  else TelemetryStream(target, max_bytes=max_bytes,
+                                       meta=meta))
+        self.stream = stream
+        self.tracer.add_sink(stream.write_event)
+        return stream
+
+    def detach_stream(self, close: bool = True
+                      ) -> Optional[TelemetryStream]:
+        """Detach (and by default finalize) the attached stream.
+
+        With ``close=True`` a final metrics delta is flushed and the
+        file handle closed; ``close=False`` only unhooks the sink (the
+        `capture` isolation path) and returns the still-open stream.
+        """
+        stream = self.stream
+        if stream is None:
+            return None
+        self.tracer.remove_sink(stream.write_event)
+        self.stream = None
+        if close:
+            stream.close(self.metrics)
+        return stream
+
+    def flush_stream(self, t: Optional[float] = None) -> None:
+        """Flush metric deltas to the attached stream (no-op without)."""
+        if self.stream is not None:
+            self.stream.flush_metrics(self.metrics, t=t)
 
     # ------------------------------------------------------------ lifecycle
     def reset(self) -> None:
@@ -130,11 +184,24 @@ def capture() -> Iterator[Telemetry]:
     restored but the collected data stays on the hub until the next
     `reset`/`capture`, so the orchestrator can harvest it right after
     the block.
+
+    An ambient telemetry stream is detached (NOT closed) for the
+    duration and re-attached on exit: a capture window — including one
+    running in a forked pool worker that inherited the parent's open
+    stream — never writes into the surrounding run's stream files.
     """
     was_enabled = _HUB.enabled
+    ambient_stream = _HUB.detach_stream(close=False)
     _HUB.reset()
     _HUB.enabled = True
     try:
         yield _HUB
     finally:
         _HUB.enabled = was_enabled
+        if _HUB.stream is not None:
+            # A stream attached inside the block would otherwise leak
+            # into the surrounding run; finalize it with the window's
+            # metrics while they are still on the hub.
+            _HUB.detach_stream(close=True)
+        if ambient_stream is not None:
+            _HUB.attach_stream(ambient_stream)

@@ -96,50 +96,94 @@ def write_merged_jsonl(path: Union[str, Path],
     return path
 
 
-def read_jsonl(path: Union[str, Path]) -> TelemetryFile:
-    """Parse and validate a telemetry file written by this module."""
+def read_jsonl(path: Union[str, Path], *,
+               allow_partial_tail: bool = False) -> TelemetryFile:
+    """Parse and validate a telemetry file written by this module.
+
+    ``allow_partial_tail=True`` tolerates a truncated *final* line — the
+    one artifact a crash can leave in a line-atomic stream
+    (`repro.obs.stream`) — and drops it; corruption anywhere else still
+    raises.
+    """
     path = Path(path)
     doc: Optional[TelemetryFile] = None
-    with path.open() as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise TelemetryFormatError(
-                    f"{path}:{lineno}: invalid JSON: {exc}") from exc
-            if not isinstance(record, dict) or "record" not in record:
-                raise TelemetryFormatError(
-                    f"{path}:{lineno}: not a telemetry record envelope")
-            rtype = record["record"]
-            if doc is None:
-                if rtype != "header":
-                    raise TelemetryFormatError(
-                        f"{path}: first record must be a header, "
-                        f"got {rtype!r}")
-                if record.get("schema") != TELEMETRY_SCHEMA:
-                    raise TelemetryFormatError(
-                        f"{path}: unsupported telemetry schema "
-                        f"{record.get('schema')!r} (expected "
-                        f"{TELEMETRY_SCHEMA})")
-                doc = TelemetryFile(header=record)
-            elif rtype == "event":
-                if "kind" not in record:
-                    raise TelemetryFormatError(
-                        f"{path}:{lineno}: event record without a kind")
-                doc.events.append(record)
-            elif rtype == "metrics":
-                doc.metrics.append(record)
-            elif rtype == "header":
-                raise TelemetryFormatError(
-                    f"{path}:{lineno}: duplicate header record")
-            else:
-                raise TelemetryFormatError(
-                    f"{path}:{lineno}: unknown record type {rtype!r}")
+    lines = path.read_text().splitlines()
+    last_content = max((i for i, line in enumerate(lines) if line.strip()),
+                       default=-1)
+    for index, line in enumerate(lines):
+        lineno = index + 1
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if allow_partial_tail and index == last_content:
+                break
+            raise TelemetryFormatError(
+                f"{path}:{lineno}: invalid JSON: {exc}") from exc
+        doc = _fold_record(path, lineno, record, doc)
     if doc is None:
         raise TelemetryFormatError(f"{path}: empty telemetry file")
+    return doc
+
+
+def read_many(paths: Iterable[Union[str, Path]], *,
+              allow_partial_tail: bool = False) -> TelemetryFile:
+    """Read and merge several telemetry files (rotated stream parts, or
+    per-run files) into one `TelemetryFile`.
+
+    Each file is validated individually; events and metrics records are
+    concatenated in the given file order (pass parts in emission order —
+    a sorted glob over zero-padded part numbers does).  The merged
+    header is the first file's, annotated with the file count.
+    """
+    merged: Optional[TelemetryFile] = None
+    count = 0
+    for path in paths:
+        doc = read_jsonl(path, allow_partial_tail=allow_partial_tail)
+        count += 1
+        if merged is None:
+            merged = TelemetryFile(header=dict(doc.header))
+        merged.events.extend(doc.events)
+        merged.metrics.extend(doc.metrics)
+    if merged is None:
+        raise TelemetryFormatError("read_many: no telemetry files given")
+    merged.header["files"] = count
+    return merged
+
+
+def _fold_record(path: Path, lineno: int, record: Any,
+                 doc: Optional[TelemetryFile]) -> TelemetryFile:
+    """Validate one parsed record envelope and fold it into `doc`."""
+    if not isinstance(record, dict) or "record" not in record:
+        raise TelemetryFormatError(
+            f"{path}:{lineno}: not a telemetry record envelope")
+    rtype = record["record"]
+    if doc is None:
+        if rtype != "header":
+            raise TelemetryFormatError(
+                f"{path}: first record must be a header, "
+                f"got {rtype!r}")
+        if record.get("schema") != TELEMETRY_SCHEMA:
+            raise TelemetryFormatError(
+                f"{path}: unsupported telemetry schema "
+                f"{record.get('schema')!r} (expected "
+                f"{TELEMETRY_SCHEMA})")
+        return TelemetryFile(header=record)
+    if rtype == "event":
+        if "kind" not in record:
+            raise TelemetryFormatError(
+                f"{path}:{lineno}: event record without a kind")
+        doc.events.append(record)
+    elif rtype == "metrics":
+        doc.metrics.append(record)
+    elif rtype == "header":
+        raise TelemetryFormatError(
+            f"{path}:{lineno}: duplicate header record")
+    else:
+        raise TelemetryFormatError(
+            f"{path}:{lineno}: unknown record type {rtype!r}")
     return doc
 
 

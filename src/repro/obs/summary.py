@@ -64,11 +64,14 @@ def summarize(doc: TelemetryFile) -> TelemetrySummary:
 
 def _merge_metric_records(records: Sequence[Dict[str, Any]]
                           ) -> Dict[str, Dict[str, Any]]:
-    """Fold per-experiment registry snapshots into one table.
+    """Fold registry snapshots (full or delta) into one table.
 
     Counters sum, gauges keep the last value, histograms merge count /
-    sum / min / max (bucket detail is dropped in the merged view — the
-    raw records stay in the file).
+    sum / min / max *and* per-bound bucket counts.  Bucket values are
+    additive in both record flavours — full snapshots from independent
+    experiments add, and a stream's delta records add back up to the
+    run's cumulative buckets — so the merged view supports quantile
+    estimates (`_estimate_quantile`).
     """
     merged: Dict[str, Dict[str, Any]] = {}
     for record in records:
@@ -77,11 +80,15 @@ def _merge_metric_records(records: Sequence[Dict[str, Any]]
             prev = merged.get(name)
             if prev is None:
                 if kind == "histogram":
-                    merged[name] = {"kind": kind,
-                                    "count": snap.get("count", 0),
-                                    "sum": snap.get("sum", 0.0),
-                                    "min": snap.get("min", 0.0),
-                                    "max": snap.get("max", 0.0)}
+                    merged[name] = {
+                        "kind": kind,
+                        "count": snap.get("count", 0),
+                        "sum": snap.get("sum", 0.0),
+                        "min": snap.get("min", 0.0),
+                        "max": snap.get("max", 0.0),
+                        "overflow": snap.get("overflow", 0),
+                        "buckets": [[b, c] for b, c
+                                    in (snap.get("buckets") or [])]}
                 else:
                     merged[name] = {"kind": kind,
                                     "value": snap.get("value", 0.0)}
@@ -92,14 +99,44 @@ def _merge_metric_records(records: Sequence[Dict[str, Any]]
                 prev["value"] = snap.get("value", 0.0)
             elif kind == "histogram":
                 count = snap.get("count", 0)
+                if count:
+                    if prev.get("count"):
+                        prev["min"] = min(prev.get("min", 0.0),
+                                          snap.get("min", 0.0))
+                        prev["max"] = max(prev.get("max", 0.0),
+                                          snap.get("max", 0.0))
+                    else:
+                        prev["min"] = snap.get("min", 0.0)
+                        prev["max"] = snap.get("max", 0.0)
                 prev["count"] = prev.get("count", 0) + count
                 prev["sum"] = prev.get("sum", 0.0) + snap.get("sum", 0.0)
-                if count:
-                    prev["min"] = min(prev["min"], snap.get("min", 0.0)) \
-                        if prev.get("count") else snap.get("min", 0.0)
-                    prev["max"] = max(prev.get("max", 0.0),
-                                      snap.get("max", 0.0))
+                prev["overflow"] = prev.get("overflow", 0) \
+                    + snap.get("overflow", 0)
+                by_bound = {b: c for b, c in prev.get("buckets") or []}
+                for bound, seen in snap.get("buckets") or []:
+                    by_bound[bound] = by_bound.get(bound, 0) + seen
+                prev["buckets"] = [[b, by_bound[b]]
+                                   for b in sorted(by_bound)]
     return merged
+
+
+def _estimate_quantile(snap: Dict[str, Any], q: float) -> Optional[float]:
+    """Bucket-resolution quantile from a merged histogram row.
+
+    Mirrors `repro.obs.metrics.Histogram.quantile`: the upper bound of
+    the cumulative bucket holding the q-th observation, falling back to
+    the observed max when the rank lands in the overflow bucket.
+    Returns None when the row carries no bucket detail.
+    """
+    count = snap.get("count", 0)
+    buckets = snap.get("buckets")
+    if not count or not buckets:
+        return None
+    rank = q * count
+    for bound, seen in buckets:
+        if seen >= rank:
+            return float(bound)
+    return float(snap.get("max", 0.0))
 
 
 # ------------------------------------------------------------------ render
@@ -164,6 +201,12 @@ def render(summary: TelemetrySummary, max_metrics: int = 40) -> List[str]:
                 detail = (f"n={snap.get('count', 0):,} "
                           f"sum={_fmt(snap.get('sum', 0.0))} "
                           f"max={_fmt(snap.get('max', 0.0))}")
+                quantiles = [(label, _estimate_quantile(snap, q))
+                             for label, q in (("p50", 0.5), ("p95", 0.95),
+                                              ("p99", 0.99))]
+                if all(v is not None for _, v in quantiles):
+                    detail += " " + " ".join(
+                        f"{label}~{_fmt(v)}" for label, v in quantiles)
                 value = (snap["sum"] / snap["count"]
                          if snap.get("count") else 0.0)
                 rows.append([name, snap["kind"], _fmt(value), detail])

@@ -9,15 +9,22 @@ Wall-clock only enters through `Tracer.span`, which times a code block
 (Algorithm 1/2 steps) and records the duration as a field.
 
 The buffer is bounded: once `max_events` is reached further events are
-counted in `dropped` instead of stored, so a runaway experiment cannot
-eat the host's memory through its own instrumentation.
+counted in `dropped` (and surfaced through the `on_drop` hook, which
+the telemetry hub wires to a `tracer.events_dropped` metrics counter)
+instead of stored, so a runaway experiment cannot eat the host's memory
+through its own instrumentation.
+
+Sinks (`add_sink`) observe *every* recorded event as it happens —
+including ones past the buffer bound, so a streaming exporter keeps a
+complete record while the in-memory buffer stays bounded.  Sinks must
+be cheap and must never mutate the event.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 #: Canonical event kinds emitted by the built-in instrumentation; the
 #: tracer accepts any string, this is the documented catalog.
@@ -52,6 +59,10 @@ KINDS = (
     "resilience_restore",            # a post-outage restart (warm or cold)
     "resilience_degraded_mode",      # a stale table demoted a stream to premium
     "resilience_holddown",           # failback suppressed by the hold-down timer
+    # Per-stream SLO engine (`repro.obs.slo`); emitted only when an
+    # engine is armed, so default runs never carry these.
+    "slo_breach",                    # a stream's burn rate crossed its target
+    "slo_recovered",                 # the burn rate fell back under hysteresis
 )
 
 
@@ -111,6 +122,11 @@ class Tracer:
         self.events: List[TraceEvent] = []
         self.dropped = 0
         self._seq = 0
+        #: Called (no args) each time an event is dropped at the bound.
+        self.on_drop: Optional[Callable[[], None]] = None
+        #: Live observers of every recorded event (streaming exporters,
+        #: SLO engines).  Survive `reset()`: lifecycle is the owner's job.
+        self._sinks: List[Callable[[TraceEvent], None]] = []
 
     def __len__(self) -> int:
         return len(self.events)
@@ -126,10 +142,16 @@ class Tracer:
         (skips a kwargs unpack/repack; the caller hands over ownership
         of `fields`)."""
         self._seq += 1
-        if len(self.events) >= self.max_events:
+        event = TraceEvent(kind, t, self._seq, fields)
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+        else:
             self.dropped += 1
-            return
-        self.events.append(TraceEvent(kind, t, self._seq, fields))
+            if self.on_drop is not None:
+                self.on_drop()
+        if self._sinks:
+            for sink in self._sinks:
+                sink(event)
 
     @contextmanager
     def span(self, kind: str, t: Optional[float] = None,
@@ -142,6 +164,17 @@ class Tracer:
             duration_ms = (time.perf_counter() - t0) * 1e3
             self.record(kind, t, duration_ms=round(duration_ms, 3),
                         **fields)
+
+    def add_sink(self, sink: Callable[[TraceEvent], None]) -> None:
+        """Register a live event observer (sees events past the bound)."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[TraceEvent], None]) -> None:
+        """Unregister a sink; missing sinks are ignored."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
 
     def by_kind(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]

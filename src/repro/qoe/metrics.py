@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Callable, Tuple
 
 import numpy as np
 
@@ -49,3 +49,21 @@ def summarize_qoe(latency_ms: np.ndarray, loss_rate: np.ndarray,
         low_audio_fraction=(counts.get(1, 0) + counts.get(2, 0)) / n,
         stall_buckets=stall_duration_buckets(stalled, step_s),
         samples=int(lat.size))
+
+
+def qoe_badness(video_config: VideoQoEConfig = VideoQoEConfig()
+                ) -> Callable[[float, float], bool]:
+    """Per-sample "is this bad?" predicate for the SLO engine.
+
+    A sample is bad exactly when the video stall model would stall on
+    it, so SLO breaches line up with the QoE figures.  Returned as a
+    closure (rather than the engine importing this module) to keep
+    ``repro.obs`` layered below ``repro.qoe``: the engine takes any
+    ``(latency_ms, loss_rate) -> bool``.
+    """
+    def badness(latency_ms: float, loss_rate: float) -> bool:
+        stalled = stall_series(np.asarray([latency_ms], dtype=float),
+                               np.asarray([loss_rate], dtype=float),
+                               video_config)
+        return bool(stalled[0])
+    return badness

@@ -21,7 +21,7 @@ owns the clock and the clusters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.resilience.config import ResilienceConfig
 from repro.resilience.invariants import (Plans, StreamSpec, Tables,
@@ -62,11 +62,22 @@ class TwoPhaseInstaller:
         self.proposed_version = 0
         #: Version of the last update that actually committed.
         self.committed_version = 0
+        #: Simulated propose time per in-flight version (observability:
+        #: commit latency = propose -> commit, through retries/deferrals).
+        self._proposed_at: Dict[int, float] = {}
+        #: Propose->commit latency of the most recent commit, seconds
+        #: (None until a commit with known propose time happens).
+        self.last_commit_latency_s: Optional[float] = None
 
     # ------------------------------------------------------------- versions
-    def next_version(self) -> int:
-        """Allocate the version for a new epoch's update."""
+    def next_version(self, now: Optional[float] = None) -> int:
+        """Allocate the version for a new epoch's update.
+
+        `now` (simulated seconds) stamps the proposal so the eventual
+        commit can report its end-to-end install latency."""
         self.proposed_version += 1
+        if now is not None:
+            self._proposed_at[self.proposed_version] = now
         return self.proposed_version
 
     def is_current(self, version: int) -> bool:
@@ -74,7 +85,15 @@ class TwoPhaseInstaller:
         a pending retry for an older epoch is superseded silently)."""
         return version == self.proposed_version
 
-    def mark_committed(self, version: int) -> None:
+    def mark_committed(self, version: int,
+                       now: Optional[float] = None) -> None:
+        proposed_at = self._proposed_at.get(version)
+        if now is not None and proposed_at is not None:
+            self.last_commit_latency_s = now - proposed_at
+        # Superseded (never-committed) proposals can't commit any more:
+        # drop every stamp at or below the committed version.
+        self._proposed_at = {v: t for v, t in self._proposed_at.items()
+                             if v > version}
         self.committed_version = max(self.committed_version, version)
         self.counters.installs_committed += 1
 

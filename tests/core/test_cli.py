@@ -43,3 +43,36 @@ def test_experiments_only_selector(capsys):
 def test_unknown_variant_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--variant", "warpspeed"])
+
+
+def test_demo_chaos_streams_slo_and_profile_end_to_end(tmp_path, capsys):
+    """The full observability loop through the CLI: a chaos demo with a
+    rotating stream and the SLO engine, then summary + profile over the
+    rotated parts."""
+    stream = tmp_path / "soak" / "stream.jsonl"
+    rc = main(["demo", "--minutes", "4", "--chaos", "--slo",
+               "--stream", str(stream), "--stream-max-kb", "32"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "chaos testbed" in out
+    assert "SLO 'interactive'" in out
+    assert "breaches 1" in out
+
+    parts = sorted((tmp_path / "soak").glob("stream.*.jsonl"))
+    assert len(parts) >= 2  # the 32 KB budget forces rotation
+
+    pattern = str(tmp_path / "soak" / "stream.*.jsonl")
+    assert main(["obs", "summary", pattern]) == 0
+    summary = capsys.readouterr().out
+    assert "slo_breach" in summary
+    assert "slo_recovered" in summary
+
+    assert main(["obs", "profile", pattern]) == 0
+    profile = capsys.readouterr().out
+    assert "algo1.path_control" in profile
+    assert "(phases, top level)" in profile
+
+    from repro.obs.export import read_many
+    (breach,) = read_many(parts).events_of("slo_breach")
+    assert breach["cause_kind"] == "fault_probe_blackout"
+    assert breach["cause_fault_id"] == 0

@@ -5,7 +5,8 @@ import json
 import pytest
 
 from repro.obs.export import (TELEMETRY_SCHEMA, TelemetryFormatError,
-                              read_jsonl, write_jsonl, write_merged_jsonl)
+                              read_jsonl, read_many, write_jsonl,
+                              write_merged_jsonl)
 
 EVENTS = [
     {"kind": "probe_round", "seq": 1, "t": 0.0, "region": "FRA"},
@@ -104,3 +105,82 @@ class TestStrictReader:
         path = self._lines(tmp_path, header, "",
                            json.dumps({"record": "event", "kind": "x"}))
         assert len(read_jsonl(path).events) == 1
+
+
+class TestPartialTail:
+    """Crash tolerance: a truncated FINAL line may be forgiven, nothing
+    else."""
+
+    def _crashy(self, tmp_path, cut_line=-1):
+        path = write_jsonl(tmp_path / "run.jsonl", EVENTS, metrics=METRICS)
+        lines = path.read_text().splitlines()
+        lines[cut_line] = lines[cut_line][:-15]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_truncated_tail_rejected_by_default(self, tmp_path):
+        with pytest.raises(TelemetryFormatError, match="invalid JSON"):
+            read_jsonl(self._crashy(tmp_path))
+
+    def test_truncated_tail_forgiven_when_allowed(self, tmp_path):
+        doc = read_jsonl(self._crashy(tmp_path), allow_partial_tail=True)
+        # The chopped metrics record is dropped; the events survive.
+        assert len(doc.events) == 2
+        assert doc.metrics == []
+
+    def test_truncated_middle_line_still_rejected(self, tmp_path):
+        path = self._crashy(tmp_path, cut_line=1)
+        with pytest.raises(TelemetryFormatError, match="invalid JSON"):
+            read_jsonl(path, allow_partial_tail=True)
+
+    def test_trailing_blank_lines_do_not_shield_a_bad_line(self, tmp_path):
+        path = self._crashy(tmp_path)
+        with path.open("a") as fh:
+            fh.write("\n\n")
+        doc = read_jsonl(path, allow_partial_tail=True)
+        assert len(doc.events) == 2
+
+
+class TestReadMany:
+    def _write_two(self, tmp_path):
+        a = write_jsonl(tmp_path / "a.jsonl", EVENTS[:1], metrics=METRICS,
+                        meta={"part": 0})
+        b = write_jsonl(tmp_path / "b.jsonl", EVENTS[1:],
+                        meta={"part": 1})
+        return a, b
+
+    def test_concatenates_in_argument_order(self, tmp_path):
+        a, b = self._write_two(tmp_path)
+        doc = read_many([a, b])
+        assert [e["kind"] for e in doc.events] == ["probe_round",
+                                                   "failover"]
+        assert len(doc.metrics) == 1
+
+    def test_header_comes_from_first_file_plus_count(self, tmp_path):
+        a, b = self._write_two(tmp_path)
+        doc = read_many([a, b])
+        assert doc.header["part"] == 0
+        assert doc.header["files"] == 2
+
+    def test_single_file_still_counts(self, tmp_path):
+        a, __ = self._write_two(tmp_path)
+        assert read_many([a]).header["files"] == 1
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(TelemetryFormatError, match="no telemetry"):
+            read_many([])
+
+    def test_invalid_member_names_the_file(self, tmp_path):
+        a, b = self._write_two(tmp_path)
+        b.write_text("{not json\n")
+        with pytest.raises(TelemetryFormatError, match="b.jsonl"):
+            read_many([a, b])
+
+    def test_partial_tail_applies_per_file(self, tmp_path):
+        a, b = self._write_two(tmp_path)
+        text = b.read_text()
+        b.write_text(text[:-12])
+        with pytest.raises(TelemetryFormatError):
+            read_many([a, b])
+        doc = read_many([a, b], allow_partial_tail=True)
+        assert len(doc.events) == 1  # a's event; b's chopped one dropped

@@ -4,7 +4,7 @@ import pytest
 
 from repro.obs.metrics import (DEFAULT_BUCKETS, NULL_COUNTER, NULL_GAUGE,
                                NULL_HISTOGRAM, Counter, Gauge, Histogram,
-                               MetricsRegistry)
+                               HotCounters, MetricsRegistry)
 
 
 class TestCounter:
@@ -117,6 +117,71 @@ class TestRegistry:
         reg.counter("a").inc()
         reg.reset()
         assert reg.snapshot() == {}
+
+
+class TestHotCounters:
+    """The generation-aware handle cache used inside hot loops."""
+
+    def test_fetch_resolves_once_per_generation(self):
+        reg = MetricsRegistry()
+        hot = HotCounters("a", "b")
+        first = hot.fetch(reg)
+        assert first == (reg.counter("a"), reg.counter("b"))
+        assert hot.fetch(reg) is first  # cached tuple, no re-resolve
+        first[0].inc(2)
+        assert reg.counter("a").value == 2
+
+    def test_reset_invalidates_the_cache(self):
+        reg = MetricsRegistry()
+        hot = HotCounters("a")
+        (stale,) = hot.fetch(reg)
+        stale.inc(5)
+        reg.reset()
+        (fresh,) = hot.fetch(reg)
+        assert fresh is not stale
+        fresh.inc(1)
+        # The stale handle is orphaned: it no longer reaches the
+        # registry, so the pre-reset count cannot leak into it.
+        assert reg.counter("a").value == 1
+
+    def test_survives_repeated_reset_enable_cycles(self):
+        """The orchestrator's per-experiment pattern: capture() resets
+        the registry between runs; each window must start from zero and
+        end with exactly its own increments."""
+        reg = MetricsRegistry()
+        hot = HotCounters("loop.iterations")
+        for cycle in range(3):
+            reg.reset()
+            for __ in range(cycle + 1):
+                (c,) = hot.fetch(reg)
+                c.inc()
+            assert reg.counter("loop.iterations").value == cycle + 1
+
+    def test_cache_shared_across_registries_by_generation_only(self):
+        # Two registries can disagree on generation; the cache keys on
+        # the number, so hand a HotCounters to ONE registry for life.
+        reg = MetricsRegistry()
+        hot = HotCounters("a")
+        hot.fetch(reg)
+        reg.reset()
+        reg.counter("a").inc(3)
+        (handle,) = hot.fetch(reg)
+        assert handle.value == 3
+
+    def test_hub_hot_counters_respect_capture_windows(self):
+        """End to end through the facade: a HotCounters cached between
+        two capture() windows must not carry counts across."""
+        from repro import obs
+
+        hot = HotCounters("hot.ticks")
+        with obs.capture() as first:
+            hot.fetch(first.metrics)[0].inc(7)
+            assert first.metrics.counter("hot.ticks").value == 7
+        with obs.capture() as second:
+            hot.fetch(second.metrics)[0].inc(1)
+            assert second.metrics.counter("hot.ticks").value == 1
+        obs.disable()
+        obs.reset()
 
 
 class TestNullMetrics:

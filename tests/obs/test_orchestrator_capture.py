@@ -82,6 +82,45 @@ class TestSuite:
         assert record.events[0]["kind"] == "failover"
 
 
+class TestStreamingIsolation:
+    """`capture()` must fence a live stream off from nested windows —
+    including the forked pool workers that inherit the parent's open
+    stream file handle."""
+
+    def test_capture_window_never_writes_the_ambient_stream(
+            self, instrumented_spec, tmp_path):
+        hub = obs.enable()
+        stream = hub.attach_stream(tmp_path / "ambient.jsonl")
+        try:
+            record = execute_one("__instrumented", telemetry=True)
+            assert record.ok
+            assert record.events[0]["kind"] == "failover"
+        finally:
+            hub.detach_stream(close=True)
+        doc = read_jsonl(stream.paths[0])
+        assert doc.events == []  # the experiment's events stayed out
+
+    def test_parallel_workers_never_write_the_parent_stream(
+            self, instrumented_spec, tmp_path):
+        hub = obs.enable()
+        stream = hub.attach_stream(tmp_path / "parent.jsonl")
+        try:
+            records = run_parallel(["__instrumented"] * 2, workers=2,
+                                   telemetry=True)
+            assert all(r.ok for r in records)
+            assert all(r.events[0]["kind"] == "failover" for r in records)
+            # The parent's stream still works after the pool ran.
+            hub.event("autoscale", t=1.0)
+        finally:
+            hub.detach_stream(close=True)
+        for path in stream.paths:
+            kinds = [e["kind"] for e in read_jsonl(path).events]
+            assert "failover" not in kinds
+        assert any("autoscale" in [e["kind"] for e
+                                   in read_jsonl(p).events]
+                   for p in stream.paths)
+
+
 class TestRollup:
     def test_rollup_aggregates_wall_and_retries(self, instrumented_spec):
         records = run_sequential(["__instrumented", "__instrumented"])

@@ -65,6 +65,54 @@ class TestSpan:
         assert len(tr) == 1
 
 
+class TestSinks:
+    def test_sinks_see_every_event_including_past_the_bound(self):
+        tr = Tracer(max_events=2)
+        seen = []
+        tr.add_sink(seen.append)
+        for i in range(5):
+            tr.record("probe_round", i=i)
+        assert len(tr) == 2 and tr.dropped == 3
+        assert [e.fields["i"] for e in seen] == [0, 1, 2, 3, 4]
+
+    def test_remove_sink_stops_delivery_and_tolerates_missing(self):
+        tr = Tracer()
+        seen = []
+        tr.add_sink(seen.append)
+        tr.record("a")
+        tr.remove_sink(seen.append)
+        tr.remove_sink(seen.append)  # already gone: no error
+        tr.record("b")
+        assert [e.kind for e in seen] == ["a"]
+
+    def test_sinks_survive_reset(self):
+        tr = Tracer()
+        seen = []
+        tr.add_sink(seen.append)
+        tr.record("a")
+        tr.reset()
+        tr.record("b")
+        assert [e.kind for e in seen] == ["a", "b"]
+
+    def test_on_drop_hook_fires_per_dropped_event(self):
+        tr = Tracer(max_events=1)
+        drops = []
+        tr.on_drop = lambda: drops.append(1)
+        for __ in range(4):
+            tr.record("x")
+        assert len(drops) == 3
+
+    def test_hub_counts_drops_as_a_metric(self):
+        from repro.obs import Telemetry
+
+        tel = Telemetry(enabled=True, max_events=3)
+        for i in range(10):
+            tel.event("probe_round", i=i)
+        snap = tel.metrics.snapshot()
+        assert snap["tracer.events_dropped"]["value"] == 7
+        assert tel.tracer.dropped == 7
+
+
 class TestJson:
     def test_event_json_roundtrips(self):
         e = TraceEvent("failover", 12.5, 1, {"stream": 3, "planned": True})
