@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.controlplane.model import ControlConfig, LinkState
-from repro.controlplane.pathcontrol import PathControlResult, path_control
+from repro.controlplane.pathcontrol import (EpochSolveContext,
+                                            PathControlResult, path_control)
 from repro.traffic.streams import Stream
 from repro.underlay.pricing import PricingModel
 
@@ -40,17 +41,22 @@ def capacity_control(streams: List[Stream], codes: List[str],
                      state: LinkState, config: ControlConfig,
                      available: Dict[str, int],
                      r_cur: PathControlResult,
-                     fees: Optional[PricingModel] = None) -> CapacityDecision:
+                     fees: Optional[PricingModel] = None,
+                     context: Optional[EpochSolveContext] = None
+                     ) -> CapacityDecision:
     """Compute the per-region gateway adjustments for the next epoch.
 
     `available` is the current per-region container count and `r_cur` the
     step-1 result computed against it; `streams` should carry the
     *predicted* next-epoch demand.  Pass the same `LinkStateSnapshot`
     used for step 1 so the uncapacitated re-run reuses its matrices
-    instead of re-evaluating link state.
+    instead of re-evaluating link state, and the same
+    `EpochSolveContext` to additionally share the edge-weight build,
+    per-path caches, and (when every region has a gateway) the entire
+    first DP with step 1.
     """
     r_next = path_control(streams, codes, state, config, gateways=None,
-                          fees=fees)
+                          fees=fees, context=context)
     add: Dict[str, int] = {}
     remove: Dict[str, int] = {}
     target: Dict[str, int] = {}

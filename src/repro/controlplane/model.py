@@ -15,6 +15,7 @@ The exact problem is NP-hard (multi-commodity flow with integral paths);
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable, Sequence, Tuple, Union
 
 from repro.underlay.linkstate import LinkType
@@ -54,9 +55,15 @@ class OverlayPath:
     def dst(self) -> str:
         return self.hops[-1][1]
 
-    @property
+    @cached_property
     def regions(self) -> Tuple[str, ...]:
-        """All regions the path touches, source first."""
+        """All regions the path touches, source first.
+
+        Cached: the control loop reads this several times per assignment
+        (capacity checks, consumption, summaries) and paths are frozen.
+        `cached_property` writes straight into ``__dict__``, which works
+        on a frozen dataclass (no ``__setattr__`` involved).
+        """
         return (self.hops[0][0],) + tuple(h[1] for h in self.hops)
 
     @property
@@ -73,8 +80,21 @@ class OverlayPath:
         return any(t is LinkType.PREMIUM for t in self.link_types)
 
     @staticmethod
+    def unchecked(hops: Tuple[PathHop, ...]) -> "OverlayPath":
+        """Construct without the connectivity check.
+
+        For hot callers whose hops are connected by construction (DP
+        reconstruction, `via`): `__post_init__` would re-validate what
+        the construction already guarantees, and it dominates profile
+        time at planetary scale.
+        """
+        path = object.__new__(OverlayPath)
+        object.__setattr__(path, "hops", hops)
+        return path
+
+    @staticmethod
     def direct(src: str, dst: str, link_type: LinkType) -> "OverlayPath":
-        return OverlayPath(((src, dst, link_type),))
+        return OverlayPath.unchecked(((src, dst, link_type),))
 
     @staticmethod
     def via(regions: Sequence[str], link_type: LinkType) -> "OverlayPath":
@@ -83,7 +103,7 @@ class OverlayPath:
             raise ValueError("need at least src and dst")
         hops = tuple((regions[i], regions[i + 1], link_type)
                      for i in range(len(regions) - 1))
-        return OverlayPath(hops)
+        return OverlayPath.unchecked(hops)
 
 
 def path_latency_ms(path: OverlayPath, state: LinkState) -> float:

@@ -67,6 +67,11 @@ class NetworkInformationBase:
             raise ValueError(f"window must be >= 1 report, got {window}")
         self.max_staleness_s = float(max_staleness_s)
         self.window = int(window)
+        #: Monotonic mutation counter: bumps on every accepted report.
+        #: Equal versions guarantee identical snapshot outputs, which
+        #: lets the controller skip rebuilding (and the incremental
+        #: engine skip diffing) when no new report arrived.
+        self.version = 0
         self._reports: Dict[Tuple[str, str, LinkType],
                             Deque[LinkReport]] = {}
         self._index: Dict[str, int] = {}
@@ -136,6 +141,7 @@ class NetworkInformationBase:
         if history and report.reported_at < history[-1].reported_at:
             return  # stale out-of-order report
         history.append(report)
+        self.version += 1
         ti, i, j = self._link_index(report.src, report.dst, report.link_type)
         pos = self._ring_pos[ti, i, j]
         self._ring_lat[ti, i, j, pos] = report.latency_ms

@@ -9,8 +9,8 @@ demand as the path's residual capacity allows, and update capacities.
 Implementation notes:
 
 * Shortest paths are computed with a hop-limited min-plus DP over dense
-  numpy matrices (N <= a few dozen regions), with per-edge choice between
-  the Internet and the premium link by weighted cost
+  numpy matrices (N <= a few hundred regions), with per-edge choice
+  between the Internet and the premium link by weighted cost
   (latency + loss penalty + egress-fee penalty).  The fee penalty is what
   makes the hybrid prefer cheap Internet links when their quality
   suffices and fail over to premium links otherwise.
@@ -26,17 +26,26 @@ Implementation notes:
   are shared by **every** graph rebuild within the call — only the
   residual-capacity masks change between rebuilds — and all per-path
   metrics are matrix reads instead of callback chains.
+* An `EpochSolveContext` can be threaded through the capacitated run,
+  capacity control's uncapacitated run, and plan generation to share the
+  edge-weight build, the first DP build, and per-path index/metric
+  caches across them.  All context caching is value-transparent: output
+  is bit-identical with and without one.  The context also carries the
+  `dp_fn` seam the sharded solver (`repro.controlplane.sharded`) plugs
+  its process-parallel DP into.
 """
 
 from __future__ import annotations
 
+import warnings
 import weakref
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.controlplane.model import ControlConfig, LinkState, OverlayPath
+from repro.controlplane.model import (ControlConfig, LinkState, OverlayPath,
+                                      PathHop)
 from repro.obs import telemetry as _telemetry
 from repro.traffic.streams import Stream
 from repro.underlay.linkstate import LinkType
@@ -109,9 +118,23 @@ class PathControlResult:
     forwarding_tables: Dict[str, Dict[int, Tuple[str, LinkType]]]
     #: Number of shortest-path graph rebuilds (scalability diagnostic).
     graph_rebuilds: int = 0
+    #: Streams the best-effort fallback pass had to place (0 when every
+    #: stream fit the quality-feasible graph).  The incremental engine
+    #: uses this to decide whether a previous epoch is safe to reuse.
+    fallback_streams: int = 0
+
+    #: Lazy stream_id -> [Assignment] index behind `assignment_for`.
+    _stream_index: Optional[Dict[int, List[Assignment]]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def assignment_for(self, stream_id: int) -> List[Assignment]:
-        return [a for a in self.assignments if a.stream.stream_id == stream_id]
+        index = self._stream_index
+        if index is None:
+            index = {}
+            for a in self.assignments:
+                index.setdefault(a.stream.stream_id, []).append(a)
+            self._stream_index = index
+        return index.get(stream_id, [])
 
     def total_assigned_mbps(self) -> float:
         return float(sum(a.mbps for a in self.assignments))
@@ -125,6 +148,31 @@ class PathControlResult:
         if weights.sum() == 0:
             return float(hops.mean())
         return float(np.average(hops, weights=weights))
+
+
+class _PathData:
+    """Pre-resolved index tuples for one path (capacity hot loop).
+
+    `path_capacity`/`consume` resolve region codes through the index
+    dict on every call; at planetary scale the same few thousand paths
+    are checked hundreds of thousands of times per epoch, so the integer
+    indices are resolved once per distinct path and cached on the
+    `EpochSolveContext`.
+    """
+
+    __slots__ = ("region_idx", "internet_idx", "premium_idx")
+
+    def __init__(self, path: OverlayPath, index: Dict[str, int]):
+        self.region_idx = tuple(index[r] for r in path.regions)
+        internet: List[int] = []
+        premium: List[Tuple[int, int]] = []
+        for (a, b, t) in path.hops:
+            if t is LinkType.INTERNET:
+                internet.append(index[a])
+            else:
+                premium.append((index[a], index[b]))
+        self.internet_idx = tuple(internet)
+        self.premium_idx = tuple(premium)
 
 
 class _Capacities:
@@ -146,6 +194,11 @@ class _Capacities:
         self.premium = np.full((n, n), config.premium_bandwidth_mbps,
                                dtype=float)
         np.fill_diagonal(self.premium, 0.0)
+        #: Which regions start with positive capacity — the part of the
+        #: first usable-mask that differs between capacitated and
+        #: uncapacitated runs (Internet/premium starts are config
+        #: constants).  Keys the context's first-build DP cache.
+        self.initial_region_signature = (self.region > 0.0).tobytes()
 
     def path_capacity(self, path: OverlayPath) -> float:
         cap = np.inf
@@ -159,6 +212,26 @@ class _Capacities:
                 cap = min(cap, self.premium[i, j])
         return float(cap)
 
+    def path_capacity_data(self, pd: _PathData) -> float:
+        """`path_capacity` over pre-resolved indices (same values)."""
+        cap = float("inf")
+        region = self.region
+        for i in pd.region_idx:
+            v = region[i]
+            if v < cap:
+                cap = v
+        internet = self.internet
+        for i in pd.internet_idx:
+            v = internet[i]
+            if v < cap:
+                cap = v
+        premium = self.premium
+        for ij in pd.premium_idx:
+            v = premium[ij]
+            if v < cap:
+                cap = v
+        return float(cap)
+
     def consume(self, path: OverlayPath, mbps: float) -> None:
         for region in path.regions:
             self.region[self.index[region]] -= mbps
@@ -169,14 +242,26 @@ class _Capacities:
             else:
                 self.premium[i, j] -= mbps
 
+    def consume_data(self, pd: _PathData, mbps: float) -> None:
+        """`consume` over pre-resolved indices (same cell updates)."""
+        region = self.region
+        for i in pd.region_idx:
+            region[i] -= mbps
+        internet = self.internet
+        for i in pd.internet_idx:
+            internet[i] -= mbps
+        premium = self.premium
+        for ij in pd.premium_idx:
+            premium[ij] -= mbps
+
 
 class _EdgeWeights:
     """Capacity-independent edge data, shared by all graph rebuilds.
 
-    Built once per `path_control` call from the epoch's snapshot: the
-    weighted edge cost (latency + loss penalty + fee penalty) and the
-    quality masks.  A rebuild only re-applies the residual-capacity
-    masks on top.
+    Built once per `path_control` call (or once per epoch via an
+    `EpochSolveContext`) from the epoch's snapshot: the weighted edge
+    cost (latency + loss penalty + fee penalty) and the quality masks.
+    A rebuild only re-applies the residual-capacity masks on top.
     """
 
     def __init__(self, snap: LinkStateSnapshot, config: ControlConfig,
@@ -194,14 +279,77 @@ class _EdgeWeights:
         self.exists = np.isfinite(self.lat)
 
 
+#: Row-chunk size for the DP inner buffer (fits L2 at N<=500).
+_DP_ROW_CHUNK = 8
+
+#: Signature of a DP implementation: (w, n_layers) -> (dist, vias,
+#: improved) with per-layer via/improved matrices.  `_dp_layers` is the
+#: in-process default; `repro.controlplane.sharded.ControlPool.dp_fn`
+#: is the process-parallel drop-in (bit-identical output).
+DpFn = Callable[[np.ndarray, int],
+                Tuple[np.ndarray, List[np.ndarray], List[np.ndarray]]]
+
+
+def dp_row_block(w: np.ndarray, wT: np.ndarray, lo: int, hi: int,
+                 n_layers: int
+                 ) -> Tuple[np.ndarray, List[np.ndarray], List[np.ndarray]]:
+    """Min-plus DP restricted to source rows `lo:hi`.
+
+    Row i of every DP layer depends only on row i of the previous layer
+    and the full weight matrix, so row blocks evolve independently
+    through **all** layers and concatenating block results in row order
+    is bit-identical to the monolithic computation.  This is both the
+    in-process kernel and the unit of work the sharded solver ships to
+    worker processes.
+
+    `wT` must be `w.T` (C-contiguous): the add is laid out as
+    ``stacked[i, j, m] = dist[i, m] + wT[j, m]`` so the argmin reduces
+    over the contiguous last axis — the same IEEE adds and the same
+    first-minimum tie-breaking as the (i, m, j) layout.  Rows are
+    processed through a small reused buffer instead of materialising the
+    (rows, N, N) cube: identical element-wise operations, but ~3x faster
+    at N=200 (the cube's fresh 64 MB allocation per layer is pure
+    page-fault overhead).
+    """
+    n = w.shape[0]
+    rows = hi - lo
+    dist = w[lo:hi].copy()
+    vias: List[np.ndarray] = []
+    improved_layers: List[np.ndarray] = []
+    chunk = min(_DP_ROW_CHUNK, max(rows, 1))
+    buf = np.empty((chunk, n, n))
+    for __ in range(n_layers):
+        best_m = np.empty((rows, n), dtype=np.int64)
+        best_val = np.empty((rows, n))
+        for c0 in range(0, rows, chunk):
+            c1 = min(c0 + chunk, rows)
+            b = buf[:c1 - c0]
+            np.add(dist[c0:c1, None, :], wT[None, :, :], out=b)
+            np.argmin(b, axis=2, out=best_m[c0:c1])
+            np.min(b, axis=2, out=best_val[c0:c1])
+        improved = best_val < dist - 1e-12
+        vias.append(best_m)
+        improved_layers.append(improved)
+        dist = np.where(improved, best_val, dist)
+    return dist, vias, improved_layers
+
+
+def _dp_layers(w: np.ndarray, n_layers: int
+               ) -> Tuple[np.ndarray, List[np.ndarray], List[np.ndarray]]:
+    """Full hop-limited min-plus DP (all source rows, in process)."""
+    wT = np.ascontiguousarray(w.T)
+    return dp_row_block(w, wT, 0, w.shape[0], n_layers)
+
+
 class _ShortestPaths:
     """Hop-limited all-pairs shortest paths over the hybrid graph."""
 
     def __init__(self, weights: _EdgeWeights, config: ControlConfig,
                  caps: _Capacities, enforce_loss: bool = True,
-                 first_build: bool = True):
+                 first_build: bool = True, dp_fn: Optional[DpFn] = None):
         self.codes = weights.snap.codes
         self.index = caps.index
+        self.weights = weights
         if not first_build and _TEL.enabled:
             _TEL.counter("pathcontrol.snapshot_reuses").inc()
 
@@ -225,19 +373,9 @@ class _ShortestPaths:
         # Per-layer predecessors make reconstruction respect the hop
         # limit exactly (a single merged predecessor matrix could splice
         # a longer prefix in and overshoot it).
-        dist = w.copy()
-        self._vias: List[np.ndarray] = []
-        self._improved: List[np.ndarray] = []
-        for __ in range(config.max_hops - 1):
-            # stacked[i, m, j] = dist[i, m] + w[m, j]
-            stacked = dist[:, :, None] + w[None, :, :]
-            best_m = np.argmin(stacked, axis=1)
-            best_val = np.take_along_axis(
-                stacked, best_m[:, None, :], axis=1)[:, 0, :]
-            improved = best_val < dist - 1e-12
-            self._vias.append(best_m)
-            self._improved.append(improved)
-            dist = np.where(improved, best_val, dist)
+        dist, vias, improved = (dp_fn or _dp_layers)(w, config.max_hops - 1)
+        self._vias = vias
+        self._improved = improved
         self.w = w
         self.dist = dist
         #: Reconstructed paths memoised per (src, dst) — the DP state is
@@ -246,7 +384,10 @@ class _ShortestPaths:
 
     def path(self, src: str, dst: str) -> Optional[OverlayPath]:
         """Reconstruct the best path, or None if unreachable."""
-        i, j = self.index[src], self.index[dst]
+        return self.path_idx(self.index[src], self.index[dst])
+
+    def path_idx(self, i: int, j: int) -> Optional[OverlayPath]:
+        """`path` by region index (the hot loop already has indices)."""
         key = (i, j)
         cached = self._path_cache.get(key, False)
         if cached is not False:
@@ -259,7 +400,7 @@ class _ShortestPaths:
         for a, b in zip(nodes[:-1], nodes[1:]):
             t = _TYPES[int(self.best_type[a, b])]
             hops.append((self.codes[a], self.codes[b], t))
-        path = OverlayPath(tuple(hops))
+        path = OverlayPath.unchecked(tuple(hops))
         self._path_cache[key] = path
         return path
 
@@ -275,6 +416,83 @@ class _ShortestPaths:
         return self._expand(i, j, layer - 1)
 
 
+class EpochSolveContext:
+    """Shared solver state for one control epoch.
+
+    One context threads through Algorithm 1's capacitated run, capacity
+    control's uncapacitated run, and plan generation so they can share
+    work that depends only on the epoch snapshot:
+
+    * the `_EdgeWeights` build (identical for both runs),
+    * the first `_ShortestPaths` build, keyed by which regions start
+      with positive capacity — the uncapacitated run's first graph
+      equals the capacitated one whenever every region has a gateway,
+      which saves an entire DP per epoch,
+    * per-path index tuples (`_PathData`) and per-path snapshot metrics,
+      which repeat heavily across rebuilds and runs.
+
+    The context is also the seam for the sharded DP: set `dp_fn` (e.g.
+    `ControlPool.dp_fn`) and every graph build inside the epoch runs
+    process-parallel.  All caching is value-transparent — results are
+    bit-identical with and without a context.
+    """
+
+    def __init__(self, dp_fn: Optional[DpFn] = None):
+        self.dp_fn = dp_fn
+        self._weights: Optional[_EdgeWeights] = None
+        self._weights_key: Optional[Tuple] = None
+        self._index: Optional[Dict[str, int]] = None
+        self._sp_cache: Dict[Tuple, _ShortestPaths] = {}
+        self._path_data: Dict[Tuple[PathHop, ...], _PathData] = {}
+        self._path_metrics: Dict[Tuple[PathHop, ...],
+                                 Tuple[float, float]] = {}
+
+    def weights(self, snap: LinkStateSnapshot, config: ControlConfig,
+                fees: Optional[PricingModel]) -> _EdgeWeights:
+        key = self._weights_key
+        if (key is not None and key[0] is snap and key[1] is config
+                and key[2] is fees):
+            return self._weights
+        # New snapshot/config: every derived cache is stale.
+        self._weights_key = (snap, config, fees)
+        self._weights = _EdgeWeights(snap, config, fees)
+        self._index = snap.index
+        self._sp_cache.clear()
+        self._path_data.clear()
+        self._path_metrics.clear()
+        return self._weights
+
+    def first_shortest_paths(self, weights: _EdgeWeights,
+                             config: ControlConfig, caps: _Capacities,
+                             enforce_loss: bool) -> _ShortestPaths:
+        key = (enforce_loss, caps.initial_region_signature)
+        sp = self._sp_cache.get(key)
+        if sp is not None and sp.weights is weights:
+            if _TEL.enabled:
+                _TEL.counter("pathcontrol.context_sp_reuses").inc()
+            return sp
+        sp = _ShortestPaths(weights, config, caps,
+                            enforce_loss=enforce_loss, dp_fn=self.dp_fn)
+        self._sp_cache[key] = sp
+        return sp
+
+    def data_for(self, path: OverlayPath) -> _PathData:
+        pd = self._path_data.get(path.hops)
+        if pd is None:
+            pd = _PathData(path, self._index)
+            self._path_data[path.hops] = pd
+        return pd
+
+    def metrics_for(self, path: OverlayPath) -> Tuple[float, float]:
+        """(latency_ms, loss_rate) for `path` on the epoch snapshot."""
+        cached = self._path_metrics.get(path.hops)
+        if cached is None:
+            snap = self._weights.snap
+            cached = (snap.path_latency_ms(path), snap.path_loss_rate(path))
+            self._path_metrics[path.hops] = cached
+        return cached
+
+
 #: Stream orderings path_control supports; "latency_desc" is the paper's.
 ORDERINGS = ("latency_desc", "latency_asc", "demand_desc", "input")
 
@@ -284,7 +502,9 @@ def path_control(streams: List[Stream], codes: List[str], state: LinkState,
                  gateways: Optional[Dict[str, int]] = None,
                  fees: Optional[PricingModel] = None,
                  max_rebuilds: int = 40,
-                 ordering: str = "latency_desc") -> PathControlResult:
+                 ordering: str = "latency_desc",
+                 context: Optional[EpochSolveContext] = None
+                 ) -> PathControlResult:
     """Run Algorithm 1.
 
     `state` is either a `LinkStateSnapshot` (the controller's per-epoch
@@ -295,105 +515,174 @@ def path_control(streams: List[Stream], codes: List[str], state: LinkState,
     `fees` enables the cost term in edge weights.  `ordering` selects
     the per-pass stream order — the paper's latency-descending heuristic
     by default; the alternatives exist for the ordering ablation.
+    `context` shares per-epoch solver state (and the sharded DP seam)
+    across the epoch's solver calls; results are identical without one.
     """
     if ordering not in ORDERINGS:
         raise ValueError(f"unknown ordering {ordering!r}; choose from "
                          f"{ORDERINGS}")
     codes = list(codes)
     snap = LinkStateSnapshot.ensure(state, codes)
-    weights = _EdgeWeights(snap, config, fees)
+    ctx = context if context is not None else EpochSolveContext()
+    weights = ctx.weights(snap, config, fees)
     caps = _Capacities(codes, config, gateways)
-    sp = _ShortestPaths(weights, config, caps)
+    sp = ctx.first_shortest_paths(weights, config, caps, True)
     rebuilds = 0
 
     remaining: Dict[int, float] = {s.stream_id: s.demand_mbps for s in streams}
     by_id: Dict[int, Stream] = {s.stream_id: s for s in streams}
     assignments: List[Assignment] = []
 
-    # Latency limits are anchored to the direct premium latency of each
-    # pair (the best the underlay can do).
-    lat_premium = snap.lat[TYPE_INDEX[LinkType.PREMIUM]]
+    n_streams = len(streams)
     index = snap.index
-    limits = {s.stream_id: config.latency_limit_ms(
-        float(lat_premium[index[s.src], index[s.dst]])) for s in streams}
+    src_idx = np.fromiter((index[s.src] for s in streams), dtype=np.intp,
+                          count=n_streams)
+    dst_idx = np.fromiter((index[s.dst] for s in streams), dtype=np.intp,
+                          count=n_streams)
+    src_pos = src_idx.tolist()
+    dst_pos = dst_idx.tolist()
 
-    def ordered(active_streams: List[Stream]) -> List[Stream]:
+    # Latency limits are anchored to the direct premium latency of each
+    # pair (the best the underlay can do).  Vectorised, but element-wise
+    # identical to `config.latency_limit_ms` per stream.
+    lat_premium = snap.lat[TYPE_INDEX[LinkType.PREMIUM]]
+    limits_arr = np.maximum(config.latency_limit_floor_ms,
+                            config.latency_limit_stretch
+                            * lat_premium[src_idx, dst_idx])
+    limits: Dict[int, float] = dict(
+        zip((s.stream_id for s in streams), limits_arr.tolist()))
+
+    def ordered(active_pos: List[int]) -> List[int]:
+        """Order stream positions for one pass (paper's line 8).
+
+        The latency orderings sort by current shortest-path latency with
+        non-finite latencies keyed as 0.0; `np.argsort(kind="stable")`
+        produces exactly the permutation a stable `sorted` over the same
+        keys would.
+        """
         if ordering == "input":
-            return list(active_streams)
+            return active_pos
         if ordering == "demand_desc":
-            return sorted(active_streams, key=lambda s: -s.demand_mbps)
-        sign = -1.0 if ordering == "latency_desc" else 1.0
+            return sorted(active_pos,
+                          key=lambda p: -streams[p].demand_mbps)
+        pos = np.asarray(active_pos, dtype=np.intp)
+        lat = sp.dist[src_idx[pos], dst_idx[pos]]
+        keys = np.where(np.isfinite(lat), lat, 0.0)
+        if ordering == "latency_desc":
+            keys = -keys
+        order = np.argsort(keys, kind="stable")
+        return [active_pos[k] for k in order.tolist()]
 
-        def key(s: Stream) -> float:
-            lat = sp.latency(s.src, s.dst)
-            return sign * lat if np.isfinite(lat) else 0.0
-
-        return sorted(active_streams, key=key)
-
-    active = [s for s in streams if s.demand_mbps > 0]
+    active = [p for p, s in enumerate(streams) if s.demand_mbps > 0]
+    # Per-build cache of (path, path data, latency, loss) by region-pair
+    # index: one integer-tuple lookup per stream instead of separate
+    # path/index/metric lookups (hops-tuple hashing is the expensive
+    # one).  Rebuilt whenever the graph is.
+    pair_cache: Dict[Tuple[int, int], Optional[Tuple]] = {}
     while active and rebuilds <= max_rebuilds:
         # Sort by current shortest-path latency, descending (line 8).
         order = ordered(active)
-        blocked: List[Stream] = []
+        blocked: List[int] = []
         assigned_any = False
-        for s in order:
-            want = remaining[s.stream_id]
+        for p in order:
+            s = streams[p]
+            sid = s.stream_id
+            want = remaining[sid]
             if want <= 0:
                 continue
-            path = sp.path(s.src, s.dst)
-            if path is None:
-                blocked.append(s)
+            key = (src_pos[p], dst_pos[p])
+            entry = pair_cache.get(key, False)
+            if entry is False:
+                path = sp.path_idx(key[0], key[1])
+                if path is None:
+                    entry = None
+                else:
+                    lat, loss = ctx.metrics_for(path)
+                    entry = (path, ctx.data_for(path), lat, loss)
+                pair_cache[key] = entry
+            if entry is None:
+                blocked.append(p)
                 continue
-            cap = caps.path_capacity(path)
+            path, pd, lat, loss = entry
+            cap = caps.path_capacity_data(pd)
             take = min(want, cap)
             if take <= 1e-9:
-                blocked.append(s)
+                blocked.append(p)
                 continue
-            lat = snap.path_latency_ms(path)
-            loss = snap.path_loss_rate(path)
-            meets = (lat <= limits[s.stream_id]
+            meets = (lat <= limits[sid]
                      and loss <= config.loss_limit)
-            caps.consume(path, take)
-            remaining[s.stream_id] = want - take
+            caps.consume_data(pd, take)
+            remaining[sid] = want - take
             assignments.append(Assignment(s, path, float(take), lat, loss,
                                           meets))
             assigned_any = True
-            if remaining[s.stream_id] > 1e-9:
-                blocked.append(s)  # leftover demand needs another path
-        active = [s for s in blocked if remaining[s.stream_id] > 1e-9]
+            if remaining[sid] > 1e-9:
+                blocked.append(p)  # leftover demand needs another path
+        active = [p for p in blocked
+                  if remaining[streams[p].stream_id] > 1e-9]
         if not active:
             break
         if not assigned_any:
             break  # no capacity anywhere; give up on the rest
-        sp = _ShortestPaths(weights, config, caps, first_build=False)
+        sp = _ShortestPaths(weights, config, caps, first_build=False,
+                            dp_fn=ctx.dp_fn)
+        pair_cache = {}
         rebuilds += 1
+
+    if active and rebuilds > max_rebuilds:
+        # The budget ran out with streams still unplaced (as opposed to
+        # running out of capacity, which breaks the loop above).  They
+        # silently fell through to `unassigned`/the fallback pass before
+        # this was surfaced.
+        warnings.warn(
+            f"path_control exhausted its rebuild budget "
+            f"(max_rebuilds={max_rebuilds}) with {len(active)} streams "
+            "still unplaced; their residual demand falls through to the "
+            "best-effort pass", UserWarning, stacklevel=2)
+        if _TEL.enabled:
+            _TEL.counter("pathcontrol.rebuild_budget_exhausted").inc(
+                len(active))
 
     # Best-effort fallback: streams that found no quality-feasible edge at
     # all (e.g. a global loss episode) are still carried — production
     # cannot drop conferences — on the least-bad path, flagged as
     # violating constraints.
-    leftovers = [s for s in streams if remaining[s.stream_id] > 1e-9]
-    if leftovers:
+    leftover_pos = [p for p, s in enumerate(streams)
+                    if remaining[s.stream_id] > 1e-9]
+    if leftover_pos:
         sp = _ShortestPaths(weights, config, caps, enforce_loss=False,
-                            first_build=False)
-        for s in leftovers:
-            want = remaining[s.stream_id]
-            path = sp.path(s.src, s.dst)
-            if path is None:
+                            first_build=False, dp_fn=ctx.dp_fn)
+        pair_cache = {}
+        for p in leftover_pos:
+            s = streams[p]
+            sid = s.stream_id
+            want = remaining[sid]
+            key = (src_pos[p], dst_pos[p])
+            entry = pair_cache.get(key, False)
+            if entry is False:
+                path = sp.path_idx(key[0], key[1])
+                if path is None:
+                    entry = None
+                else:
+                    lat, loss = ctx.metrics_for(path)
+                    entry = (path, ctx.data_for(path), lat, loss)
+                pair_cache[key] = entry
+            if entry is None:
                 continue
-            take = min(want, caps.path_capacity(path))
+            path, pd, lat, loss = entry
+            take = min(want, caps.path_capacity_data(pd))
             if take <= 1e-9:
                 continue
-            caps.consume(path, take)
-            remaining[s.stream_id] = want - take
-            assignments.append(Assignment(
-                s, path, float(take), snap.path_latency_ms(path),
-                snap.path_loss_rate(path), False))
+            caps.consume_data(pd, take)
+            remaining[sid] = want - take
+            assignments.append(Assignment(s, path, float(take), lat, loss,
+                                          False))
 
     unassigned = [(by_id[sid], res) for sid, res in remaining.items()
                   if res > 1e-9]
 
-    result = _summarise(assignments, unassigned, codes, config, rebuilds)
+    result = _summarise(assignments, unassigned, codes, config, rebuilds,
+                        len(leftover_pos))
     if _TEL.enabled:
         _TEL.counter("pathcontrol.runs").inc()
         _TEL.counter("pathcontrol.graph_rebuilds").inc(rebuilds)
@@ -408,7 +697,8 @@ def path_control(streams: List[Stream], codes: List[str], state: LinkState,
 
 def _summarise(assignments: List[Assignment],
                unassigned: List[Tuple[Stream, float]], codes: List[str],
-               config: ControlConfig, rebuilds: int) -> PathControlResult:
+               config: ControlConfig, rebuilds: int,
+               fallback_streams: int = 0) -> PathControlResult:
     region_traffic: Dict[str, float] = {c: 0.0 for c in codes}
     internet_egress: Dict[str, float] = {c: 0.0 for c in codes}
     premium_usage: Dict[Tuple[str, str], float] = {}
@@ -429,4 +719,4 @@ def _summarise(assignments: List[Assignment],
             for c in codes}
     return PathControlResult(assignments, unassigned, region_traffic,
                              internet_egress, premium_usage, used, tables,
-                             rebuilds)
+                             rebuilds, fallback_streams)

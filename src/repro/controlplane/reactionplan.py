@@ -22,7 +22,7 @@ follow (and are asserted in our tests):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.controlplane.model import (LinkState, OverlayPath,
                                       path_latency_ms, path_loss_rate)
@@ -62,9 +62,45 @@ def _score(path: OverlayPath, state: LinkState,
             + loss_ms_penalty * path_loss_rate(path, state))
 
 
+def route_walk(regions: Tuple[str, ...], state: LinkState,
+               loss_ms_penalty: float = 2500.0
+               ) -> Dict[str, Tuple[str, ...]]:
+    """Algorithm 2's reverse walk for one route (region sequence).
+
+    Returns ``rec_plan[r]`` = ordered relay sequence (excluding ``r``)
+    to the destination, for every non-terminal region of the route.
+    The walk depends only on the region sequence and the link state, so
+    routes can be walked independently (and in parallel — the sharded
+    solver fans distinct routes out across worker processes).
+    """
+    dst = regions[-1]
+    rec_plan: Dict[str, Tuple[str, ...]] = {}
+    # Walk in reverse from the region just before the destination.
+    for i in range(len(regions) - 2, -1, -1):
+        r_i = regions[i]
+        best = (dst,)
+        best_score = _score(
+            OverlayPath.via((r_i, dst), LinkType.PREMIUM),
+            state, loss_ms_penalty)
+        # Try relaying through a later on-path region r_j and
+        # following r_j's (already computed) plan.
+        for j in range(i + 1, len(regions) - 1):
+            r_j = regions[j]
+            candidate = (r_j,) + rec_plan[r_j]
+            score = _score(OverlayPath.via((r_i,) + candidate,
+                                           LinkType.PREMIUM),
+                           state, loss_ms_penalty)
+            if score < best_score:
+                best, best_score = candidate, score
+        rec_plan[r_i] = best
+    return rec_plan
+
+
 def generate_reaction_plans(result: PathControlResult, state: LinkState,
-                            loss_ms_penalty: float = 2500.0
-                            ) -> Dict[Tuple[int, str], ReactionPlan]:
+                            loss_ms_penalty: float = 2500.0,
+                            walks: Optional[Dict[Tuple[str, ...],
+                                                 Dict[str, Tuple[str, ...]]]]
+                            = None) -> Dict[Tuple[int, str], ReactionPlan]:
     """Run Algorithm 2 over every assignment of a path-control result.
 
     Returns plans keyed by (stream_id, region); the destination region
@@ -73,36 +109,23 @@ def generate_reaction_plans(result: PathControlResult, state: LinkState,
     score a couple of matrix reads.  Plans depend only on the region
     sequence, so the reverse walk is memoised per distinct
     `path.regions` — at scale most streams share a handful of routes.
+
+    `walks` optionally seeds (and accumulates) that per-route memo:
+    pass a dict of pre-computed `route_walk` outputs (e.g. from the
+    sharded solver or the incremental engine's previous epoch) and only
+    routes missing from it are walked here.  Seeded entries must have
+    been computed against the same `state`/`loss_ms_penalty`.
     """
     plans: Dict[Tuple[int, str], ReactionPlan] = {}
-    plans_by_route: Dict[Tuple[str, ...], Dict[str, Tuple[str, ...]]] = {}
+    plans_by_route = walks if walks is not None else {}
     for assignment in result.assignments:
         path = assignment.path
-        regions = list(path.regions)
-        dst = regions[-1]
+        regions = path.regions
         # rec_plan[r] = ordered relay sequence (excluding r) to dst.
-        rec_plan = plans_by_route.get(path.regions)
+        rec_plan = plans_by_route.get(regions)
         if rec_plan is None:
-            rec_plan = {}
-            # Walk in reverse from the region just before the destination.
-            for i in range(len(regions) - 2, -1, -1):
-                r_i = regions[i]
-                best = (dst,)
-                best_score = _score(
-                    OverlayPath.via((r_i, dst), LinkType.PREMIUM),
-                    state, loss_ms_penalty)
-                # Try relaying through a later on-path region r_j and
-                # following r_j's (already computed) plan.
-                for j in range(i + 1, len(regions) - 1):
-                    r_j = regions[j]
-                    candidate = (r_j,) + rec_plan[r_j]
-                    score = _score(OverlayPath.via((r_i,) + candidate,
-                                                   LinkType.PREMIUM),
-                                   state, loss_ms_penalty)
-                    if score < best_score:
-                        best, best_score = candidate, score
-                rec_plan[r_i] = best
-            plans_by_route[path.regions] = rec_plan
+            rec_plan = route_walk(regions, state, loss_ms_penalty)
+            plans_by_route[regions] = rec_plan
         for r_i in regions[:-1]:
             key = (assignment.stream.stream_id, r_i)
             # A stream may appear with several assignments (demand split);

@@ -263,6 +263,8 @@ class EventDrivenXRON:
             premium_only=not self.variant.internet_allowed,
             internet_only=not self.variant.premium_allowed,
             sib_params=self._sib_params,
+            control_mode=self.sim_config.control_mode,
+            shard_workers=self.sim_config.shard_workers,
             seed=self.sim_config.seed)
 
     # ------------------------------------------------------------------ api
@@ -430,6 +432,7 @@ class EventDrivenXRON:
         every restore exercises the full round trip)."""
         warm = (self.resilience.checkpoint_enabled
                 and self._checkpoint_json is not None)
+        self.controller.close()  # release the old solve pool, if any
         self.controller = self._make_controller()
         if self._injector is not None:
             self.controller.nib.fault_filter = self._injector.filter_report

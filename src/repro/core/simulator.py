@@ -264,6 +264,8 @@ class EpochSimulator:
                 nib_window=self.sim_config.nib_window,
                 robust_percentile=self.sim_config.robust_percentile,
                 workload=workload,
+                control_mode=self.sim_config.control_mode,
+                shard_workers=self.sim_config.shard_workers,
                 seed=self.sim_config.seed)
         else:
             self.controller = None

@@ -190,16 +190,25 @@ def run_sequential(names: Sequence[str], *, full: bool = False,
     return records
 
 
-def _pool_context():
+def pool_context():
     """Prefer ``fork`` workers: they inherit the parent's registry (so
     dynamically registered specs resolve by name in children) and the
     choice stays stable across Python versions that move the platform
     default.  Falls back to the platform default where fork is absent.
+
+    Public seam: the sharded control-plane pool
+    (`repro.controlplane.sharded.ControlPool`) reuses this context and
+    the `_deadline` worker-side timeout machinery so every process pool
+    in the repo behaves the same way.
     """
     try:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context()
+
+
+#: Backwards-compatible alias (pre-public name).
+_pool_context = pool_context
 
 
 def _pool_failure_record(name: str, exc: BaseException) -> RunRecord:
@@ -238,7 +247,7 @@ def run_parallel(names: Sequence[str], *, full: bool = False,
     while pending:
         next_round: List[str] = []
         with ProcessPoolExecutor(max_workers=min(workers, len(pending)),
-                                 mp_context=_pool_context()) as pool:
+                                 mp_context=pool_context()) as pool:
             futures = {pool.submit(execute_one, name, full, timeout_s,
                                    telemetry): name
                        for name in pending}

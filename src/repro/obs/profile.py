@@ -32,6 +32,12 @@ from typing import Any, Dict, Iterable, List, Tuple
 #: than inferred from timing.
 PARENT_OF = {
     "snapshot_build": "link_snapshot",
+    # Incremental mode: snapshot diffing + context seeding runs inside
+    # the path-control phase (before the greedy solve).
+    "incremental.diff": "algo1.path_control",
+    # Sharded mode: the fan-out of reaction-plan route walks is a child
+    # of plan generation, so shard time is attributed to its phase.
+    "sharded.walks": "algo2.reaction_plans",
 }
 
 

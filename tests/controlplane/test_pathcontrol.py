@@ -225,3 +225,68 @@ class TestStatistics:
         result = path_control([], CODES, make_state(), cfg(), gateways=gw())
         assert result.assignments == []
         assert result.average_relay_hops() == 0.0
+
+
+class TestRebuildBudget:
+    def test_exhaustion_warns_instead_of_silently_truncating(self):
+        """Streams left unplaced when max_rebuilds runs out must be loud."""
+        streams = [stream(1, "A", "B", 600.0), stream(2, "A", "B", 600.0)]
+        with pytest.warns(UserWarning, match="rebuild budget"):
+            result = path_control(streams, CODES, make_state(), cfg(),
+                                  gateways={c: 1 for c in CODES},
+                                  max_rebuilds=0)
+        # The residual demand still falls through to the best-effort
+        # pass / unassigned — the warning changes visibility, not routing.
+        assigned = result.total_assigned_mbps()
+        residual = sum(r for __, r in result.unassigned)
+        assert assigned + residual == pytest.approx(1200.0)
+        assert residual > 0
+
+    def test_sufficient_budget_does_not_warn(self):
+        import warnings as _warnings
+
+        streams = [stream(1, "A", "B", 600.0), stream(2, "A", "B", 600.0)]
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", UserWarning)
+            path_control(streams, CODES, make_state(), cfg(),
+                         gateways=gw(), max_rebuilds=40)
+
+    def test_exhaustion_counter_increments(self):
+        from repro import obs
+
+        streams = [stream(1, "A", "B", 600.0), stream(2, "A", "B", 600.0)]
+        with obs.capture() as hub:
+            with pytest.warns(UserWarning, match="rebuild budget"):
+                path_control(streams, CODES, make_state(), cfg(),
+                             gateways={c: 1 for c in CODES}, max_rebuilds=0)
+        snap = hub.metrics.snapshot()
+        assert snap["pathcontrol.rebuild_budget_exhausted"]["value"] >= 1
+
+
+class TestAssignmentIndex:
+    def test_matches_linear_scan(self):
+        streams = [stream(1, "A", "B", 10.0), stream(2, "B", "C", 20.0),
+                   stream(3, "A", "C", 700.0), stream(4, "C", "A", 5.0)]
+        result = path_control(streams, CODES, make_state(), cfg(),
+                              gateways=gw())
+        assert result.assignments
+        for sid in {a.stream.stream_id for a in result.assignments}:
+            assert result.assignment_for(sid) == [
+                a for a in result.assignments
+                if a.stream.stream_id == sid]
+
+    def test_split_stream_returns_every_piece(self):
+        # 1500 Mbps cannot fit either A->B link alone: the stream splits.
+        streams = [stream(7, "A", "B", 1500.0)]
+        result = path_control(streams, CODES, make_state(),
+                              cfg(internet_bandwidth_mbps=1000.0,
+                                  premium_bandwidth_mbps=800.0),
+                              gateways=gw())
+        pieces = result.assignment_for(7)
+        assert len(pieces) >= 2
+        assert sum(a.mbps for a in pieces) == pytest.approx(1500.0)
+
+    def test_unknown_stream_returns_empty(self):
+        result = path_control([stream(1, "A", "B", 10.0)], CODES,
+                              make_state(), cfg(), gateways=gw())
+        assert result.assignment_for(999) == []

@@ -1,0 +1,145 @@
+"""Golden equivalence + pool machinery for the sharded solver.
+
+The acceptance bar: running the full control stack through a
+`ControlPool` — DP builds fanned across 1, 2, or 4 worker processes,
+reaction-plan walks sharded the same way — reproduces the frozen
+pre-refactor golden fixtures bit for bit.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.controlplane.pathcontrol import _dp_layers
+from repro.controlplane.reactionplan import generate_reaction_plans, route_walk
+from repro.controlplane.sharded import ControlPool, _shard_bounds
+from repro.controlplane.pathcontrol import path_control
+from tests.controlplane.golden_workloads import (WORKLOADS, control_digest,
+                                                 load_fixture)
+
+
+@pytest.fixture(scope="module", params=sorted(WORKLOADS))
+def scenario(request):
+    name = request.param
+    return name, WORKLOADS[name](), load_fixture(name)
+
+
+def _random_weights(n=37, seed=0, density=0.8):
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(1.0, 400.0, size=(n, n))
+    w[rng.random((n, n)) > density] = np.inf
+    np.fill_diagonal(w, np.inf)
+    return w
+
+
+def _assert_dp_equal(got, ref):
+    dist_g, vias_g, imp_g = got
+    dist_r, vias_r, imp_r = ref
+    assert dist_g.tobytes() == dist_r.tobytes()
+    assert len(vias_g) == len(vias_r)
+    for a, b in zip(vias_g, vias_r):
+        assert a.tobytes() == b.tobytes()
+    for a, b in zip(imp_g, imp_r):
+        assert a.tobytes() == b.tobytes()
+
+
+class TestShardBounds:
+    def test_covers_rows_in_order(self):
+        for n in (1, 2, 7, 16, 200):
+            for shards in (1, 2, 3, 4, 7):
+                bounds = _shard_bounds(n, shards)
+                assert bounds[0][0] == 0 and bounds[-1][1] == n
+                for (a, b), (c, d) in zip(bounds[:-1], bounds[1:]):
+                    assert b == c and a < b and c < d
+
+    def test_matches_array_split(self):
+        rows = np.arange(23)
+        bounds = _shard_bounds(23, 4)
+        for part, (lo, hi) in zip(np.array_split(rows, 4), bounds):
+            assert part.tolist() == list(range(lo, hi))
+
+    def test_never_more_shards_than_rows(self):
+        assert _shard_bounds(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+
+class TestShardedDp:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bit_identical_to_monolithic(self, workers):
+        w = _random_weights()
+        ref = _dp_layers(w, 2)
+        with ControlPool(workers, min_shard_rows=1) as pool:
+            _assert_dp_equal(pool.dp_fn(w, 2), ref)
+
+    def test_small_problems_stay_in_process(self):
+        w = _random_weights(n=8)
+        pool = ControlPool(2, min_shard_rows=32)
+        try:
+            _assert_dp_equal(pool.dp_fn(w, 2), _dp_layers(w, 2))
+            assert pool._executor is None  # never forked
+        finally:
+            pool.close()
+
+    def test_closed_pool_solves_in_process(self):
+        w = _random_weights()
+        pool = ControlPool(2, min_shard_rows=1)
+        pool.close()
+        pool.close()  # idempotent
+        _assert_dp_equal(pool.dp_fn(w, 2), _dp_layers(w, 2))
+
+
+class _BrokenExecutor:
+    def submit(self, *args, **kwargs):
+        raise RuntimeError("worker pool on fire")
+
+    def shutdown(self, **kwargs):
+        pass
+
+
+class TestDegradation:
+    def test_failure_warns_once_and_stays_correct(self):
+        w = _random_weights()
+        pool = ControlPool(2, min_shard_rows=1)
+        pool._executor = _BrokenExecutor()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            _assert_dp_equal(pool.dp_fn(w, 2), _dp_layers(w, 2))
+        assert pool._broken
+        # Degradation is permanent and silent from here on.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            _assert_dp_equal(pool.dp_fn(w, 2), _dp_layers(w, 2))
+        pool.close()
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_sharded_stack_matches_reference(self, scenario, workers):
+        """Full control stack through the pool == frozen golden fixture."""
+        name, wl, reference = scenario
+        with ControlPool(workers, min_shard_rows=1) as pool:
+            digest = control_digest(wl, wl.underlay.snapshot(wl.now),
+                                    context=pool.solve_context(),
+                                    walks_fn=pool.reaction_walks)
+        assert digest == reference, f"{name} diverged with {workers} workers"
+
+
+class TestShardedWalks:
+    def test_walks_match_in_process_route_walks(self, scenario):
+        name, wl, __ = scenario
+        snap = wl.underlay.snapshot(wl.now)
+        r_cur = path_control(wl.streams, wl.codes, snap, wl.config,
+                             gateways=wl.gateways, fees=wl.fees)
+        with ControlPool(2, min_shard_rows=1) as pool:
+            walks = pool.reaction_walks(r_cur, snap,
+                                        wl.config.loss_ms_penalty)
+        routes = {a.path.regions for a in r_cur.assignments}
+        assert set(walks) == routes
+        for route, rec_plan in walks.items():
+            assert rec_plan == route_walk(route, snap,
+                                          wl.config.loss_ms_penalty)
+        # Seeding generate_reaction_plans with them changes nothing.
+        assert (generate_reaction_plans(r_cur, snap,
+                                        wl.config.loss_ms_penalty,
+                                        walks=dict(walks))
+                == generate_reaction_plans(r_cur, snap,
+                                           wl.config.loss_ms_penalty))
