@@ -7,6 +7,9 @@ Commands:
 * ``run`` — simulate a window for one system variant and print the
   operator summary (QoE, tails, bill).
 * ``demo`` — the event-driven deployment, minute-scale, live mechanisms.
+* ``serve`` — the same deployment as an always-on soak service: a
+  compressed simulated clock paced against the wall, rotating chaos,
+  health heartbeats, checkpoint persistence and ``--resume``.
 * ``info`` — the deployment at a glance (regions, links, pricing).
 * ``obs`` — inspect telemetry JSONL files: ``obs summary run.jsonl``
   (accepts several files or a quoted glob over rotated stream parts)
@@ -277,6 +280,164 @@ def _run_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_serve_system(args: argparse.Namespace, slo_engine, schedule):
+    """Construct the soak deployment; returns (system, region_codes)."""
+    from dataclasses import replace
+
+    from repro.core.config import SimulationConfig
+    from repro.core.eventsim import EventDrivenXRON
+    from repro.core.variants import xron
+    from repro.resilience.config import resilience
+    from repro.traffic.demand import DemandModel
+    from repro.underlay.config import UnderlayConfig
+    from repro.underlay.regions import default_regions
+    from repro.underlay.topology import build_underlay
+
+    regions = default_regions()[:max(2, args.regions)]
+    duration_s = args.hours * 3600.0 + args.minutes * 60.0
+    underlay = build_underlay(
+        regions,
+        UnderlayConfig(horizon_s=duration_s + 4 * args.epoch_s),
+        seed=args.seed)
+    demand = DemandModel(regions, seed=args.seed)
+    system = EventDrivenXRON(
+        underlay, demand,
+        # Static fleets (like the demo's chaos testbed): the autoscaler
+        # would shrink a lightly-loaded region to one gateway, and
+        # `crash_gateways` always spares the last survivor — scheduled
+        # crashes would silently become no-ops.
+        variant=replace(xron(), elastic=False),
+        sim_config=SimulationConfig(epoch_s=args.epoch_s, eval_step_s=60.0,
+                                    seed=args.seed, demand_scale=0.05,
+                                    initial_gateways=4),
+        faults=schedule,
+        resilience=resilience(),
+        slo=slo_engine)
+    return system, [r.code for r in regions]
+
+
+def _serve_region_codes(args: argparse.Namespace):
+    from repro.underlay.regions import default_regions
+
+    return [r.code for r in default_regions()[:max(2, args.regions)]]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on soak service (`repro.core.service`)."""
+    import json as _json
+
+    from repro.core.service import (ServiceConfig, ServiceError, XRONService,
+                                    build_soak_schedule)
+    from repro.faults.spec import FaultSchedule
+
+    duration_s = args.hours * 3600.0 + args.minutes * 60.0
+    if duration_s <= 0:
+        print("error: pass a positive --hours/--minutes window",
+              file=sys.stderr)
+        return 2
+    envelope = None
+    if args.resume:
+        if not args.checkpoint:
+            print("error: --resume needs --checkpoint PATH", file=sys.stderr)
+            return 2
+        try:
+            envelope = XRONService.load_envelope(args.checkpoint)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot resume from {args.checkpoint}: {exc}",
+                  file=sys.stderr)
+            return 2
+        # The envelope is authoritative: same seed, same schedule —
+        # fault ids are schedule-order indices, so resuming under a
+        # different schedule would mis-map the fired set.
+        args.seed = int(envelope.get("seed", args.seed))
+        schedule = FaultSchedule.from_json(envelope["schedule"])
+    elif args.chaos:
+        schedule = build_soak_schedule(
+            0.0, duration_s, _serve_region_codes(args),
+            period_s=args.chaos_period)
+    else:
+        schedule = FaultSchedule.empty()
+
+    from repro import obs
+    with obs.capture() as hub:
+        stream = None
+        if args.stream:
+            stream = hub.attach_stream(
+                args.stream, max_bytes=args.stream_max_kb * 1024,
+                meta={"command": "serve",
+                      "mode": "chaos" if schedule else "calm"})
+        engine = None
+        if args.slo:
+            from repro.obs.slo import SLOEngine
+            from repro.qoe.metrics import qoe_badness
+            engine = SLOEngine(badness=qoe_badness())
+        system, codes = _build_serve_system(args, engine, schedule)
+        config = ServiceConfig(
+            duration_s=duration_s, compress=args.compress,
+            heartbeat_s=args.heartbeat_s, checkpoint_path=args.checkpoint,
+            verbose=not args.quiet)
+        service = XRONService(system, config)
+        if envelope is not None:
+            t = service.restore_from(envelope)
+            config.duration_s = max(0.0, duration_s - t)
+            print(f"resumed from {args.checkpoint} at t={t:,.0f}s "
+                  f"({config.duration_s:,.0f}s remaining)")
+        print(f"serving {duration_s / 3600.0:g} h across "
+              f"{len(codes)} regions"
+              + (f", compressed {args.compress:g}x"
+                 if args.compress else ", unpaced")
+              + (f", {len(schedule.specs)} scheduled faults"
+                 if schedule else "")
+              + " ... (SIGTERM drains gracefully)")
+        try:
+            result = service.run()
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"serve: {result.stop_reason} at t={result.sim_t1:,.0f}s "
+              f"({result.sim_t1 - result.sim_t0:,.0f}s simulated in "
+              f"{result.wall_s:.1f}s wall)")
+        print(f"events {result.events_processed:,} | epochs "
+              f"{result.epochs} | heartbeats {result.heartbeats} | "
+              f"max lag {result.max_lag_s:.2f}s")
+        if result.health_first and result.health_last:
+            h0, h1 = result.health_first, result.health_last
+            print(f"health: rss {h0['rss_kb']} -> {h1['rss_kb']} kB | "
+                  f"fds {h0['open_fds']} -> {h1['open_fds']} | "
+                  f"children {h1['children']}")
+        if engine is not None:
+            for line in engine.render_report():
+                print(line)
+            engine.close()
+        if stream is not None:
+            hub.detach_stream(close=True)
+            print(f"stream: {stream.events_written:,} events across "
+                  f"{len(stream.paths)} part file(s), last "
+                  f"{stream.paths[-1]}", file=sys.stderr)
+        if args.health_out:
+            injector = system._injector
+            doc = {
+                "stop_reason": result.stop_reason,
+                "drained": result.drained,
+                "sim_t0": result.sim_t0, "sim_t1": result.sim_t1,
+                "wall_s": result.wall_s,
+                "events": result.events_processed,
+                "epochs": result.epochs,
+                "max_lag_s": result.max_lag_s,
+                "health_first": result.health_first,
+                "health_last": result.health_last,
+                "heartbeats": service.heartbeats,
+                "fault_counters": result.eventsim.fault_counters,
+                "fault_state": (injector.export_state()
+                                if injector is not None else None),
+                "checkpoint": result.checkpoint_path,
+            }
+            with open(args.health_out, "w") as fh:
+                _json.dump(doc, fh, indent=2)
+            print(f"health: {args.health_out}", file=sys.stderr)
+    return 0 if result.drained else 1
+
+
 def _print_demo_result(result) -> None:
     print(f"events {result.events_processed:,} | epochs "
           f"{len(result.control_outputs)} | detections {result.detections}"
@@ -359,6 +520,51 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the chaos testbed: one degradation "
                              "hidden by a probing blackout")
     p_demo.set_defaults(fn=_run_demo)
+
+    p_serve = sub.add_parser(
+        "serve", help="always-on soak service (compressed clock, chaos, "
+                      "checkpoint/resume)")
+    p_serve.add_argument("--hours", type=float, default=0.0,
+                         help="simulated hours to serve")
+    p_serve.add_argument("--minutes", type=float, default=0.0,
+                         help="simulated minutes to serve (adds to --hours)")
+    p_serve.add_argument("--compress", type=float, default=0.0,
+                         metavar="X",
+                         help="pace X simulated seconds per wall second "
+                              "(default 0 = flat out)")
+    p_serve.add_argument("--seed", type=int, default=11)
+    p_serve.add_argument("--regions", type=int, default=3,
+                         help="how many of the default regions to deploy "
+                              "(default 3)")
+    p_serve.add_argument("--epoch-s", type=float, default=60.0,
+                         help="control epoch length, seconds (default 60)")
+    p_serve.add_argument("--chaos", action="store_true",
+                         help="run under the rotating soak fault schedule")
+    p_serve.add_argument("--chaos-period", type=float, default=600.0,
+                         metavar="S",
+                         help="seconds between scheduled faults "
+                              "(default 600)")
+    p_serve.add_argument("--heartbeat-s", type=float, default=300.0,
+                         metavar="S",
+                         help="simulated seconds between health heartbeats "
+                              "(default 300)")
+    p_serve.add_argument("--stream", default=None, metavar="PATH",
+                         help="stream telemetry live to rotated JSONL parts")
+    p_serve.add_argument("--stream-max-kb", type=int, default=256,
+                         metavar="KB")
+    p_serve.add_argument("--slo", action="store_true",
+                         help="arm the per-stream SLO engine")
+    p_serve.add_argument("--checkpoint", default=None, metavar="PATH",
+                         help="persist service checkpoint envelopes here "
+                              "(atomic; also the --resume source)")
+    p_serve.add_argument("--resume", action="store_true",
+                         help="warm-boot from the --checkpoint envelope and "
+                              "finish the remaining window")
+    p_serve.add_argument("--health-out", default=None, metavar="PATH",
+                         help="write the run's health/heartbeat JSON here")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress per-heartbeat stderr lines")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_info = sub.add_parser("info", help="deployment at a glance")
     p_info.add_argument("--seed", type=int, default=1)

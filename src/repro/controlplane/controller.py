@@ -129,6 +129,12 @@ class Controller:
         if self._pool is not None:
             self._pool.close()
 
+    def __enter__(self) -> "Controller":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ api
     def link_state(self, src: str, dst: str,
                    link_type: LinkType) -> Tuple[float, float]:

@@ -15,8 +15,14 @@ partitioned across workers (`reaction_walks`) and the merged per-route
 memo is handed to `generate_reaction_plans` via its ``walks`` seam.
 
 Pool machinery is shared with the experiment orchestrator
-(`repro.experiments.orchestrator.pool_context` / `_deadline`): fork
-workers, worker-side SIGALRM deadlines, deterministic work partitioning.
+(`repro.experiments.orchestrator.pool_context` / `Deadline`): fork
+workers, worker-side cooperative monotonic deadlines, deterministic
+work partitioning.  The deadlines are deliberately *not* the
+orchestrator's ``SIGALRM`` alarms: fork workers inherit the parent's
+signal dispositions, and a parent running an asyncio loop (the serve
+mode) owns signal delivery there — worker kernels instead check a
+monotonic deadline between bounded units of work (a DP row chunk, one
+route walk), which composes with any parent.
 Any worker failure or timeout permanently degrades the pool to the
 in-process kernels for the rest of its life — sharding is a pure
 performance seam, so correctness never depends on the pool being
@@ -28,6 +34,7 @@ that down for 1, 2 and 4 workers.
 from __future__ import annotations
 
 import warnings
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -36,11 +43,17 @@ import numpy as np
 from repro.controlplane import pathcontrol as _pc
 from repro.controlplane import reactionplan as _rp
 from repro.controlplane.pathcontrol import EpochSolveContext
-from repro.experiments.orchestrator import _deadline, pool_context
+from repro.experiments.orchestrator import Deadline, pool_context
 from repro.obs import telemetry as _telemetry
 from repro.underlay.snapshot import LinkStateSnapshot
 
 _TEL = _telemetry()
+
+#: Rows per deadline check in a DP shard.  `dp_row_block` is row-
+#: independent, so sub-chunking a shard and stacking the pieces is the
+#: same computation — the chunk size only bounds how stale a worker's
+#: deadline check can get.
+_DP_CHUNK_ROWS = 64
 
 
 def _shard_bounds(n: int, shards: int) -> List[Tuple[int, int]]:
@@ -63,24 +76,60 @@ def _shard_bounds(n: int, shards: int) -> List[Tuple[int, int]]:
 def _dp_shard(w: np.ndarray, lo: int, hi: int, n_layers: int,
               timeout_s: Optional[float]
               ) -> Tuple[np.ndarray, List[np.ndarray], List[np.ndarray]]:
-    """Worker task: one row block of the DP, under a wall deadline.
+    """Worker task: one row block of the DP, under a cooperative deadline.
 
     Each worker builds its own contiguous transpose — an O(N^2) copy,
     negligible next to the O(rows * N^2) DP itself — so only ``w`` is
-    shipped.
+    shipped.  The block is computed in `_DP_CHUNK_ROWS` sub-chunks with
+    a monotonic deadline check between them; rows are independent, so
+    stacking the chunks is bit-identical to one `dp_row_block` call.
     """
-    with _deadline(timeout_s):
-        wT = np.ascontiguousarray(w.T)
+    deadline = Deadline(timeout_s)
+    wT = np.ascontiguousarray(w.T)
+    if hi - lo <= _DP_CHUNK_ROWS:
+        deadline.check()
         return _pc.dp_row_block(w, wT, lo, hi, n_layers)
+    parts = []
+    for clo in range(lo, hi, _DP_CHUNK_ROWS):
+        deadline.check()
+        chi = min(clo + _DP_CHUNK_ROWS, hi)
+        parts.append(_pc.dp_row_block(w, wT, clo, chi, n_layers))
+    dist = np.vstack([p[0] for p in parts])
+    vias = [np.vstack([p[1][layer] for p in parts])
+            for layer in range(n_layers)]
+    improved = [np.vstack([p[2][layer] for p in parts])
+                for layer in range(n_layers)]
+    return dist, vias, improved
 
 
 def _walks_shard(routes: Sequence[Tuple[str, ...]], snap: LinkStateSnapshot,
                  loss_ms_penalty: float, timeout_s: Optional[float]
                  ) -> List[Dict[str, Tuple[str, ...]]]:
-    """Worker task: Algorithm 2's reverse walk for a block of routes."""
-    with _deadline(timeout_s):
-        return [_rp.route_walk(route, snap, loss_ms_penalty)
-                for route in routes]
+    """Worker task: Algorithm 2's reverse walk for a block of routes.
+
+    One cooperative deadline check per route — each walk is bounded by
+    the route length, so per-route granularity keeps the check fresh.
+    """
+    deadline = Deadline(timeout_s)
+    walks = []
+    for route in routes:
+        deadline.check()
+        walks.append(_rp.route_walk(route, snap, loss_ms_penalty))
+    return walks
+
+
+def _shutdown_executor(executor: ProcessPoolExecutor) -> None:
+    """`weakref.finalize` backstop: reap workers of an abandoned pool.
+
+    Runs when a `ControlPool` is garbage-collected without `close()` —
+    e.g. a `Controller` that was replaced or dropped without teardown.
+    ``wait=False`` because a finalizer must not block (the processes
+    exit on their own once the work queues are torn down).
+    """
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - interpreter-shutdown races
+        pass
 
 
 class ControlPool:
@@ -106,6 +155,7 @@ class ControlPool:
         self.timeout_s = float(timeout_s)
         self.min_shard_rows = int(min_shard_rows)
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
         self._broken = False
         self._closed = False
 
@@ -116,7 +166,18 @@ class ControlPool:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers, mp_context=pool_context())
+            # GC backstop: a pool dropped without close() (a replaced
+            # Controller, an abandoned simulator) must not strand its
+            # fork workers until process exit.  The finalizer holds the
+            # executor, never the pool, so it cannot keep `self` alive.
+            self._finalizer = weakref.finalize(
+                self, _shutdown_executor, self._executor)
         return self._executor
+
+    def _detach_finalizer(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
 
     def _degrade(self, what: str, exc: BaseException) -> None:
         """Fall back to in-process kernels for the rest of the pool's life."""
@@ -128,6 +189,7 @@ class ControlPool:
         if _TEL.enabled:
             _TEL.counter("pathcontrol.shard_fallbacks").inc()
         if self._executor is not None:
+            self._detach_finalizer()
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
 
@@ -135,6 +197,7 @@ class ControlPool:
         """Shut the worker processes down (idempotent)."""
         self._closed = True
         if self._executor is not None:
+            self._detach_finalizer()
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
 

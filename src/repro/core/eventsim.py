@@ -275,9 +275,11 @@ class EventDrivenXRON:
 
         # Gateway-crash windows go on the queue up front (priority -1 so
         # a crash at an epoch instant hits before the controller acts).
+        # Windows already fired — state restored from a checkpoint taken
+        # at t > 0 — are not replayed.
         if self._injector is not None:
             for spec in self._injector.crash_windows():
-                if spec.end_s <= start_s:
+                if spec.end_s <= start_s or self._injector.fired(spec):
                     continue
                 sim.schedule_at(max(spec.start_s, start_s),
                                 lambda spec=spec: self._apply_crash(sim, spec),
@@ -285,16 +287,25 @@ class EventDrivenXRON:
 
         # Control epoch first (priority 0) so tables exist before the
         # first measurements; probing before measurement at equal times.
-        self._control_epoch(sim)
-        sim.every(self.sim_config.epoch_s,
-                  lambda: self._control_epoch(sim),
-                  start_delay=self.sim_config.epoch_s, priority=0)
-        sim.every(burst, lambda: self._probe_round(sim), priority=1)
-        sim.every(self.passive_flush_s, lambda: self._flush_passive(sim),
-                  start_delay=self.passive_flush_s, priority=2)
-        sim.every(self.measure_interval_s, lambda: self._measure(sim),
-                  start_delay=self.measure_interval_s, priority=3)
-        sim.run_until(end)
+        # The final flush runs on EVERY exit path: without it, an
+        # exception mid-run (or simply the tail of the run after the
+        # last epoch boundary) would leave the attached telemetry
+        # stream's last metric deltas unwritten.
+        try:
+            self._control_epoch(sim)
+            sim.every(self.sim_config.epoch_s,
+                      lambda: self._control_epoch(sim),
+                      start_delay=self.sim_config.epoch_s, priority=0)
+            sim.every(burst, lambda: self._probe_round(sim), priority=1)
+            sim.every(self.passive_flush_s,
+                      lambda: self._flush_passive(sim),
+                      start_delay=self.passive_flush_s, priority=2)
+            sim.every(self.measure_interval_s, lambda: self._measure(sim),
+                      start_delay=self.measure_interval_s, priority=3)
+            sim.run_until(end)
+        finally:
+            if _TEL.enabled:
+                _TEL.flush_stream(sim.now)
 
         return EventSimResult(
             sessions=self.sessions,
@@ -309,6 +320,22 @@ class EventDrivenXRON:
                             if self._injector is not None else None),
             resilience_counters=(self._res_counters.as_dict()
                                  if self._res_counters is not None else None))
+
+    def close(self) -> None:
+        """Release held resources: the controller's solve pool (idempotent).
+
+        The warm-restart path replaces the controller and closes the old
+        one; this is the teardown for every *other* exit — without it a
+        sharded deployment strands its fork workers until process exit.
+        """
+        if self.controller is not None:
+            self.controller.close()
+
+    def __enter__(self) -> "EventDrivenXRON":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -------------------------------------------------------------- internal
     def _probe_round(self, sim: Simulator) -> None:
@@ -453,7 +480,9 @@ class EventDrivenXRON:
             {code: c.current_entries() for code, c in self.clusters.items()},
             {code: c.current_plans() for code, c in self.clusters.items()},
             t=now, epoch_seq=self._epoch_seq,
-            version=self._installer.committed_version)
+            version=self._installer.committed_version,
+            fault_state=(self._injector.export_state()
+                         if self._injector is not None else None))
         self._checkpoint_json = checkpoint.dumps()
         self._res_counters.checkpoints_taken += 1
         if _TEL.enabled:
@@ -669,6 +698,7 @@ class EventDrivenXRON:
 
     def _apply_crash(self, sim: Simulator, spec: FaultSpec) -> None:
         """Fire one gateway-crash window (and queue its restarts)."""
+        self._injector.mark_fired(spec)
         codes = ([spec.region] if spec.region is not None
                  else sorted(self.clusters))
         fault_id = self._injector.fault_id(spec)

@@ -66,16 +66,26 @@ def run_multi_day(days: int, variant: Optional[VariantSpec] = None, *,
                   regions: Optional[List[Region]] = None,
                   sim_config: Optional[SimulationConfig] = None,
                   control_config: Optional[ControlConfig] = None,
-                  traffic_config: Optional[TrafficConfig] = None
+                  traffic_config: Optional[TrafficConfig] = None,
+                  start_day: int = 0
                   ) -> MultiDayResult:
     """Simulate `days` consecutive days for one variant.
 
     Day d runs on an underlay seeded `seed + 1000*d` (fresh link
     conditions every day, shared pricing); the demand model and all
     control-plane state are continuous across the whole span.
+
+    `start_day` anchors the window: days `start_day` through
+    `start_day + days - 1` are simulated, with absolute sim times (and
+    per-day underlay seeds) matching what a zero-anchored run would use
+    for the same calendar days.  A driver resuming a long study from a
+    checkpoint taken at day `k` passes ``start_day=k`` instead of
+    replaying — and re-billing, re-crashing, re-learning — days 0..k-1.
     """
     if days < 1:
         raise ValueError(f"need at least one day, got {days}")
+    if start_day < 0:
+        raise ValueError(f"start_day must be >= 0, got {start_day}")
     variant = variant if variant is not None else xron()
     regions = regions if regions is not None else default_regions()
     sim_config = (sim_config if sim_config is not None
@@ -91,24 +101,27 @@ def run_multi_day(days: int, variant: Optional[VariantSpec] = None, *,
                               pricing=pricing,
                               start_offset=day * 86400.0)
 
-    first = day_underlay(0)
+    first = day_underlay(start_day)
     simulator = EpochSimulator(first, demand, variant, sim_config,
                                control_config)
     daily: List[DailySummary] = []
-    for day in range(days):
-        if day > 0:
-            simulator.replace_underlay(day_underlay(day, first.pricing))
-        result = simulator.run(day * 86400.0, 86400.0)
-        lat = result.latency_percentiles(weighted=False)
-        loss = result.loss_percentiles(weighted=False)
-        daily.append(DailySummary(
-            day=day,
-            qoe=result.qoe_summary(),
-            latency_p99_ms=lat["99%"],
-            latency_p999_ms=lat["99.9%"],
-            loss_p999_pct=loss["99.9%"],
-            premium_share=result.premium_traffic_share(),
-            mean_containers=float(result.containers.mean()),
-            network_cost=result.ledger.breakdown().network_cost,
-            route_churn=result.mean_route_churn()))
+    try:
+        for day in range(start_day, start_day + days):
+            if day > start_day:
+                simulator.replace_underlay(day_underlay(day, first.pricing))
+            result = simulator.run(day * 86400.0, 86400.0)
+            lat = result.latency_percentiles(weighted=False)
+            loss = result.loss_percentiles(weighted=False)
+            daily.append(DailySummary(
+                day=day,
+                qoe=result.qoe_summary(),
+                latency_p99_ms=lat["99%"],
+                latency_p999_ms=lat["99.9%"],
+                loss_p999_pct=loss["99.9%"],
+                premium_share=result.premium_traffic_share(),
+                mean_containers=float(result.containers.mean()),
+                network_cost=result.ledger.breakdown().network_cost,
+                route_churn=result.mean_route_churn()))
+    finally:
+        simulator.close()
     return MultiDayResult(variant, daily)

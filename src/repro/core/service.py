@@ -1,0 +1,741 @@
+"""Always-on service mode: the event-driven deployment as an asyncio app.
+
+Where `EventDrivenXRON.run` drives one batch window on the synchronous
+event engine, `XRONService` runs the *same* moving parts — controller
+epochs, per-region probing, passive flushes, the workload generator,
+chaos windows — as concurrently-scheduled asyncio components on a
+compressed simulated clock, the shape a long-lived production control
+loop actually has:
+
+* **`VirtualClock`** is a discrete-event clock with a `Simulator`-
+  compatible surface (``now`` / ``schedule`` / ``schedule_at``), so the
+  epoch machinery of `EventDrivenXRON` — two-phase installs, install
+  retries, crash restarts — runs unchanged on top of it.  Components
+  sleep on the clock; a driver coroutine advances virtual time only
+  when every component is parked and wakes exactly one sleeper at a
+  time in ``(time, priority, seq)`` order, so the interleaving is as
+  deterministic as the batch engine's.
+* **Clock compression** paces virtual time against the wall:
+  ``compress`` sim-seconds pass per wall-second (``0`` = flat out, the
+  test mode).  The driver tracks how far it falls behind (`max_lag_s`).
+* **Crash recovery is the live story**: the controller component
+  persists each resilience checkpoint to disk as a *service envelope*
+  (atomic rename), a SIGTERM drains through one final checkpoint, and
+  `restore_from` boots a fresh process from the envelope — restoring
+  controller/NIB/SIB state, reinstalling the last committed tables,
+  and importing the fault injector's progress so already-fired fault
+  windows are never replayed.
+* **Heartbeats** sample process health (RSS, open fds, child
+  processes, clock lag) into the telemetry stream on a fixed cadence —
+  the soak leak detector and the CI soak job assert on them.
+
+`build_soak_schedule` generates the deterministic rotating chaos
+pattern the soak mode runs under.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import json
+import os
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.eventsim import EventDrivenXRON, EventSimResult
+from repro.faults import spec as fault_spec
+from repro.faults.spec import FaultSchedule, FaultSpec
+from repro.obs import telemetry as _telemetry
+from repro.resilience.checkpoint import Checkpoint
+from repro.sim.engine import Event, SimulationError
+
+_TEL = _telemetry()
+
+#: Service checkpoint envelope schema version.
+ENVELOPE_SCHEMA = 1
+
+
+# --------------------------------------------------------------------------
+# Virtual clock
+# --------------------------------------------------------------------------
+class VirtualClock:
+    """Discrete-event clock for asyncio components.
+
+    Presents the `repro.sim.engine.Simulator` surface (``now``,
+    ``schedule``, ``schedule_at``, ``events_processed``) to synchronous
+    callbacks, plus :meth:`sleep_until` for coroutines.  A single
+    driver (:meth:`drive`) owns time: it waits until every registered
+    component is parked, then fires the earliest timer or wakes the
+    earliest sleeper — one at a time, in ``(time, priority, seq)``
+    order, which reproduces the batch engine's deterministic ordering.
+
+    Components must only await :meth:`sleep_until` (or return); any
+    other await while "runnable" would stall the driver.
+    """
+
+    def __init__(self, start_s: float, compress: float = 0.0):
+        if compress < 0:
+            raise ValueError(f"compress must be >= 0, got {compress}")
+        self._now = float(start_s)
+        #: Sim-seconds per wall-second; 0 = unpaced (flat out).
+        self.compress = float(compress)
+        self._seq = itertools.count()
+        self._timers: List[Event] = []
+        #: (time, priority, seq, future) — seq breaks ties before the
+        #: (non-comparable) future is ever compared.
+        self._sleepers: List[Tuple[float, int, int, asyncio.Future]] = []
+        self._runnable = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._events_processed = 0
+        #: Worst wall-clock lag behind the compressed schedule, seconds.
+        self.max_lag_s = 0.0
+
+    # ----------------------------------------------------- Simulator surface
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 priority: int = 0) -> Event:
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    def schedule_at(self, time_s: float, callback: Callable[[], None],
+                    priority: int = 0) -> Event:
+        if time_s < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_s} before current time "
+                f"{self._now}")
+        event = Event(time=float(time_s), priority=priority,
+                      seq=next(self._seq), callback=callback)
+        heapq.heappush(self._timers, event)
+        return event
+
+    # -------------------------------------------------- component bookkeeping
+    def register(self) -> None:
+        """Count a component as runnable (call before starting its task)."""
+        self._runnable += 1
+        self._idle.clear()
+
+    def release(self) -> None:
+        """A runnable component finished (or errored) for good."""
+        self._runnable -= 1
+        if self._runnable <= 0:
+            self._idle.set()
+
+    async def sleep_until(self, time_s: float, priority: int = 0) -> None:
+        """Park the calling component until the clock reaches `time_s`."""
+        fut = asyncio.get_running_loop().create_future()
+        heapq.heappush(self._sleepers,
+                       (max(float(time_s), self._now), priority,
+                        next(self._seq), fut))
+        self._runnable -= 1
+        if self._runnable <= 0:
+            self._idle.set()
+        woken = False
+        try:
+            await fut
+            woken = True
+        finally:
+            if not woken:
+                # Cancelled while parked: the driver never re-marked us
+                # runnable, but our owner's cleanup (release()) will
+                # decrement — rebalance here.  The dead entry left in
+                # the heap is skipped because its future is done.
+                self._runnable += 1
+
+    # ------------------------------------------------------------- internals
+    def _next_entry(self):
+        """The earliest live (time, priority, seq) entry, or None."""
+        while self._timers and self._timers[0].cancelled:
+            heapq.heappop(self._timers)
+        while self._sleepers and self._sleepers[0][3].done():
+            heapq.heappop(self._sleepers)
+        timer = self._timers[0] if self._timers else None
+        sleeper = self._sleepers[0] if self._sleepers else None
+        if timer is None and sleeper is None:
+            return None
+        if sleeper is None or (timer is not None and (
+                (timer.time, timer.priority, timer.seq)
+                <= (sleeper[0], sleeper[1], sleeper[2]))):
+            return ("timer", timer.time)
+        return ("sleeper", sleeper[0])
+
+    def _fire_next(self) -> None:
+        """Pop and fire the earliest entry (the driver's inner step)."""
+        kind, t = self._next_entry()
+        self._now = max(self._now, t)
+        self._events_processed += 1
+        if kind == "timer":
+            event = heapq.heappop(self._timers)
+            event.callback()
+        else:
+            entry = heapq.heappop(self._sleepers)
+            self._runnable += 1
+            self._idle.clear()
+            entry[3].set_result(None)
+
+    async def drive(self, end_s: float, stop: asyncio.Event) -> str:
+        """Advance virtual time until `end_s` or `stop`; returns why.
+
+        ``"completed"`` — the next work item lies past `end_s` (the
+        clock is left exactly at `end_s`); ``"stopped"`` — `stop` was
+        set; ``"drained"`` — no component or timer has anything left.
+        """
+        wall_anchor = time.monotonic()
+        sim_anchor = self._now
+        steps = 0
+        while True:
+            await self._idle.wait()
+            if stop.is_set():
+                return "stopped"
+            head = self._next_entry()
+            if head is None:
+                return "drained"
+            t_next = head[1]
+            if t_next > end_s:
+                self._now = end_s
+                return "completed"
+            if self.compress > 0:
+                target = wall_anchor + (t_next - sim_anchor) / self.compress
+                lag = time.monotonic() - target
+                if lag < 0:
+                    try:
+                        await asyncio.wait_for(stop.wait(), timeout=-lag)
+                        return "stopped"
+                    except asyncio.TimeoutError:
+                        pass
+                elif lag > self.max_lag_s:
+                    self.max_lag_s = lag
+            steps += 1
+            if steps % 256 == 0:
+                # Unpaced mode never otherwise yields to the loop: give
+                # signal handlers and the stop event a chance to land.
+                await asyncio.sleep(0)
+                if stop.is_set():
+                    return "stopped"
+            self._fire_next()
+
+
+# --------------------------------------------------------------------------
+# Components
+# --------------------------------------------------------------------------
+@dataclass
+class ComponentStats:
+    """Liveness record of one service component (heartbeat payload)."""
+
+    name: str
+    priority: int
+    ticks: int = 0
+    last_t: Optional[float] = None
+
+
+class _Periodic:
+    """A component that ticks a synchronous callback on a fixed cadence."""
+
+    def __init__(self, name: str, priority: int, interval_s: float,
+                 tick: Callable[[], None], start_delay: float = 0.0):
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        self.stats = ComponentStats(name, priority)
+        self.interval_s = float(interval_s)
+        self.start_delay = float(start_delay)
+        self._tick = tick
+        self.priority = priority
+
+    async def run(self, clock: VirtualClock) -> None:
+        t = clock.now + self.start_delay
+        while True:
+            await clock.sleep_until(t, self.priority)
+            self._tick()
+            self.stats.ticks += 1
+            self.stats.last_t = clock.now
+            t = clock.now + self.interval_s
+
+
+class _Chaos:
+    """Walks the schedule's gateway-crash windows, skipping fired ones.
+
+    The restart halves of crash windows are queued by
+    `EventDrivenXRON._apply_crash` through the clock's timer surface,
+    exactly as on the batch engine.
+    """
+
+    def __init__(self, system: EventDrivenXRON):
+        self.stats = ComponentStats("chaos", -1)
+        self.system = system
+
+    async def run(self, clock: VirtualClock) -> None:
+        injector = self.system._injector
+        if injector is None:
+            return
+        for spec in injector.crash_windows():
+            if spec.end_s <= clock.now or injector.fired(spec):
+                continue
+            await clock.sleep_until(max(spec.start_s, clock.now),
+                                    priority=-1)
+            if injector.fired(spec):
+                continue
+            self.system._apply_crash(clock, spec)
+            self.stats.ticks += 1
+            self.stats.last_t = clock.now
+
+
+# --------------------------------------------------------------------------
+# Process health sampling
+# --------------------------------------------------------------------------
+def _rss_kb() -> Optional[int]:
+    """Resident set size in kB (Linux /proc; None where unavailable)."""
+    try:
+        with open("/proc/self/statm") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * (os.sysconf("SC_PAGE_SIZE") // 1024)
+    except (OSError, ValueError, IndexError):
+        try:
+            import resource
+            usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            # ru_maxrss is kB on Linux, bytes on macOS.
+            return usage // 1024 if sys.platform == "darwin" else usage
+        except Exception:
+            return None
+
+
+def _open_fds() -> Optional[int]:
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return None
+
+
+def _live_children() -> int:
+    import multiprocessing
+    return len(multiprocessing.active_children())
+
+
+def health_sample() -> Dict[str, Any]:
+    """One process-health observation (heartbeat payload)."""
+    return {"rss_kb": _rss_kb(), "open_fds": _open_fds(),
+            "children": _live_children()}
+
+
+# --------------------------------------------------------------------------
+# Soak chaos schedule
+# --------------------------------------------------------------------------
+#: One rotation of the soak chaos pattern: (builder, duration) pairs
+#: cycled deterministically across the run and the region list.
+def build_soak_schedule(start_s: float, duration_s: float,
+                        regions: List[str], *,
+                        period_s: float = 600.0,
+                        lead_s: float = 120.0) -> FaultSchedule:
+    """A deterministic rotating chaos schedule for soak runs.
+
+    Every `period_s` one fault fires, cycling through the taxonomy
+    (crashes, blackouts, report loss/staleness, install delay/partial,
+    provisioning storms, controller outages) and rotating the target
+    region.  Pure data — no RNG — so the same window always produces
+    the same schedule and a restored run can rebuild it exactly.
+    """
+    if not regions:
+        raise ValueError("need at least one region")
+    makers = [
+        lambda t, r: fault_spec.gateway_crash(t, 60.0, r, count=1),
+        lambda t, r: fault_spec.probe_blackout(t, 90.0, region=r),
+        lambda t, r: fault_spec.report_drop(t, 60.0, region=r),
+        lambda t, r: fault_spec.install_delay(t, 60.0, 5.0, region=r),
+        lambda t, r: fault_spec.install_partial(t, 60.0, 0.5, region=r),
+        lambda t, r: fault_spec.platform_load(t, 120.0, 3.0, region=r),
+        lambda t, r: fault_spec.report_staleness(t, 60.0, 30.0, region=r),
+        lambda t, r: fault_spec.controller_outage(t, t + 90.0),
+    ]
+    specs: List[FaultSpec] = []
+    k = 0
+    t = start_s + lead_s
+    while t + 180.0 <= start_s + duration_s:
+        maker = makers[k % len(makers)]
+        region = regions[k % len(regions)]
+        specs.append(maker(t, region))
+        k += 1
+        t += period_s
+    return FaultSchedule.of(*specs)
+
+
+# --------------------------------------------------------------------------
+# The service
+# --------------------------------------------------------------------------
+@dataclass
+class ServiceConfig:
+    """How `XRONService` runs one soak window."""
+
+    #: Simulated seconds to run for (from the resolved start time).
+    duration_s: float
+    #: Sim-seconds per wall-second (0 = flat out; 48 = a 2-day soak in
+    #: one wall hour).
+    compress: float = 0.0
+    #: Simulated seconds between heartbeat/health records.
+    heartbeat_s: float = 300.0
+    #: Where service checkpoint envelopes are persisted (None = memory
+    #: only, like the batch engine).
+    checkpoint_path: Optional[Union[str, Path]] = None
+    #: Take one final checkpoint while draining (needs resilience).
+    drain_checkpoint: bool = True
+    #: Close the system (controller solve pool) on exit.
+    close_system: bool = True
+    #: Print heartbeat lines to stderr.
+    verbose: bool = False
+
+
+@dataclass
+class ServiceResult:
+    """What one service run produced (plus the batch-shaped result)."""
+
+    stop_reason: str
+    sim_t0: float
+    sim_t1: float
+    wall_s: float
+    events_processed: int
+    epochs: int
+    heartbeats: int
+    max_lag_s: float
+    checkpoint_path: Optional[str]
+    #: First and last health samples (RSS/fd/children drift bounds).
+    health_first: Optional[Dict[str, Any]]
+    health_last: Optional[Dict[str, Any]]
+    components: List[ComponentStats]
+    eventsim: EventSimResult
+
+    @property
+    def drained(self) -> bool:
+        """Whether the run ended through the graceful drain path.
+
+        Every returned result has drained (checkpoint, telemetry flush,
+        pool teardown) — a component failure raises `ServiceError`
+        instead of returning — so only the failure reason is excluded.
+        """
+        return self.stop_reason != "component-error"
+
+
+class ServiceError(RuntimeError):
+    """A service component failed; the run was drained early."""
+
+
+class XRONService:
+    """`EventDrivenXRON` as a long-running, drainable asyncio service."""
+
+    def __init__(self, system: EventDrivenXRON, config: ServiceConfig, *,
+                 start_s: float = 0.0):
+        self.system = system
+        self.config = config
+        self._start_s = float(start_s)
+        self.clock: Optional[VirtualClock] = None
+        self.heartbeats: List[Dict[str, Any]] = []
+        self._stop_event: Optional[asyncio.Event] = None
+        self._stop_reason: Optional[str] = None
+        self._errors: List[BaseException] = []
+        self._persisted_json: Optional[str] = None
+        self._components: List[Any] = []
+
+    # ------------------------------------------------------------- lifecycle
+    def request_stop(self, reason: str = "requested") -> None:
+        """Begin a graceful drain (signal handlers route here)."""
+        if self._stop_reason is None:
+            self._stop_reason = reason
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def run(self) -> ServiceResult:
+        """`asyncio.run` wrapper installing SIGTERM/SIGINT drain handlers."""
+        return asyncio.run(self._run_with_signals())
+
+    async def _run_with_signals(self) -> ServiceResult:
+        loop = asyncio.get_running_loop()
+        installed: List[signal.Signals] = []
+        for signame in ("SIGTERM", "SIGINT"):
+            signum = getattr(signal, signame, None)
+            if signum is None:
+                continue
+            try:
+                loop.add_signal_handler(
+                    signum, self.request_stop, signame)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or unsupported platform
+        try:
+            return await self.run_async()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+
+    # ------------------------------------------------------------------ run
+    async def run_async(self) -> ServiceResult:
+        """Run the service window; always drains before returning."""
+        sys_ = self.system
+        cfg = self.config
+        clock = VirtualClock(self._start_s, cfg.compress)
+        self.clock = clock
+        stop = asyncio.Event()
+        self._stop_event = stop
+        if self._stop_reason is not None:
+            stop.set()  # stop requested before start: drain immediately
+        end_s = self._start_s + cfg.duration_s
+        wall0 = time.monotonic()
+
+        burst = sys_.sim_config.monitoring.burst_interval_s
+        # Mirrors EventDrivenXRON.run's priorities exactly: chaos -1,
+        # control 0, probing 1, passive flush 2, measurement 3; the
+        # heartbeat (5) is service-only and records no simulation state.
+        components: List[Any] = [
+            _Chaos(sys_),
+            _Periodic("controller", 0, sys_.sim_config.epoch_s,
+                      lambda: self._controller_tick(clock)),
+            _Periodic("probing", 1, burst,
+                      lambda: sys_._probe_round(clock)),
+            _Periodic("passive-flush", 2, sys_.passive_flush_s,
+                      lambda: sys_._flush_passive(clock),
+                      start_delay=sys_.passive_flush_s),
+            _Periodic("workload", 3, sys_.measure_interval_s,
+                      lambda: sys_._measure(clock),
+                      start_delay=sys_.measure_interval_s),
+            _Periodic("heartbeat", 5, cfg.heartbeat_s,
+                      lambda: self._heartbeat(clock, wall0),
+                      start_delay=cfg.heartbeat_s),
+        ]
+        self._components = components
+        tasks: List[asyncio.Task] = []
+        for component in components:
+            clock.register()
+            tasks.append(asyncio.ensure_future(
+                self._run_component(component, clock, stop)))
+        driver = asyncio.ensure_future(clock.drive(end_s, stop))
+        try:
+            reason = await driver
+        finally:
+            stop.set()
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+        if self._stop_reason is None:
+            self._stop_reason = reason
+        self._drain(clock)
+        result = ServiceResult(
+            stop_reason=self._stop_reason,
+            sim_t0=self._start_s, sim_t1=clock.now,
+            wall_s=time.monotonic() - wall0,
+            events_processed=clock.events_processed,
+            epochs=len(sys_.control_outputs),
+            heartbeats=len(self.heartbeats),
+            max_lag_s=clock.max_lag_s,
+            checkpoint_path=(str(cfg.checkpoint_path)
+                             if cfg.checkpoint_path else None),
+            health_first=(self.heartbeats[0]["health"]
+                          if self.heartbeats else None),
+            health_last=(self.heartbeats[-1]["health"]
+                         if self.heartbeats else None),
+            components=[c.stats for c in components],
+            eventsim=self._eventsim_result(clock))
+        if self._errors:
+            raise ServiceError(
+                f"{len(self._errors)} component(s) failed; first: "
+                f"{self._errors[0]!r}") from self._errors[0]
+        return result
+
+    async def _run_component(self, component, clock: VirtualClock,
+                             stop: asyncio.Event) -> None:
+        try:
+            await component.run(clock)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            self._errors.append(exc)
+            if self._stop_reason is None:
+                self._stop_reason = "component-error"
+            stop.set()
+        finally:
+            clock.release()
+
+    # ------------------------------------------------------------ components
+    def _controller_tick(self, clock: VirtualClock) -> None:
+        """One control epoch, then persist any fresh checkpoint."""
+        sys_ = self.system
+        sys_._control_epoch(clock)
+        if (self.config.checkpoint_path is not None
+                and sys_._checkpoint_json is not None
+                and sys_._checkpoint_json is not self._persisted_json):
+            self._write_envelope(clock.now)
+
+    def _heartbeat(self, clock: VirtualClock, wall0: float) -> None:
+        health = health_sample()
+        beat: Dict[str, Any] = {
+            "t": clock.now,
+            "wall_s": round(time.monotonic() - wall0, 3),
+            "epochs": len(self.system.control_outputs),
+            "events": clock.events_processed,
+            "max_lag_s": round(clock.max_lag_s, 3),
+            "health": health,
+            "components": {c.stats.name: c.stats.ticks
+                           for c in self._components},
+        }
+        self.heartbeats.append(beat)
+        if _TEL.enabled:
+            _TEL.event("service_heartbeat", t=clock.now,
+                       wall_s=beat["wall_s"], epochs=beat["epochs"],
+                       events=beat["events"],
+                       max_lag_s=beat["max_lag_s"], **health)
+            _TEL.flush_stream(clock.now)
+        if self.config.verbose:
+            print(f"[serve] t={clock.now:,.0f}s wall={beat['wall_s']:.1f}s "
+                  f"epochs={beat['epochs']} events={beat['events']:,} "
+                  f"rss={health['rss_kb']}kB fds={health['open_fds']} "
+                  f"children={health['children']}", file=sys.stderr)
+
+    # ----------------------------------------------------------------- drain
+    def _drain(self, clock: VirtualClock) -> None:
+        """Graceful teardown: checkpoint, flush telemetry, close pools.
+
+        Runs on EVERY exit path (normal completion, SIGTERM, component
+        failure) so a soak never strands stream handles, unflushed
+        metric deltas, or fork workers.
+        """
+        sys_ = self.system
+        if (self.config.drain_checkpoint and sys_._installer is not None
+                and sys_.resilience is not None
+                and sys_.resilience.checkpoint_enabled):
+            sys_._take_checkpoint(clock.now)
+        if (self.config.checkpoint_path is not None
+                and sys_._checkpoint_json is not None):
+            self._write_envelope(clock.now)
+        if _TEL.enabled:
+            health = health_sample()
+            _TEL.event("service_shutdown", t=clock.now,
+                       reason=self._stop_reason,
+                       epochs=len(sys_.control_outputs),
+                       events=clock.events_processed,
+                       heartbeats=len(self.heartbeats),
+                       max_lag_s=round(clock.max_lag_s, 3), **health)
+            _TEL.flush_stream(clock.now)
+        if self.config.close_system:
+            sys_.close()
+
+    def _eventsim_result(self, clock: VirtualClock) -> EventSimResult:
+        sys_ = self.system
+        return EventSimResult(
+            sessions=sys_.sessions,
+            control_outputs=sys_.control_outputs,
+            probe_bytes=sum(c.probe_bytes()
+                            for c in sys_.clusters.values()),
+            detections=sum(c.degradation_detections()
+                           for c in sys_.clusters.values()),
+            gateway_counts={code: c.size
+                            for code, c in sys_.clusters.items()},
+            events_processed=clock.events_processed,
+            fault_counters=(sys_._injector.counters.as_dict()
+                            if sys_._injector is not None else None),
+            resilience_counters=(sys_._res_counters.as_dict()
+                                 if sys_._res_counters is not None else None))
+
+    # ------------------------------------------------------------ checkpoint
+    def _write_envelope(self, now: float) -> Path:
+        """Persist the current checkpoint as a service envelope (atomic)."""
+        sys_ = self.system
+        path = Path(self.config.checkpoint_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "record": "service_checkpoint",
+            "schema": ENVELOPE_SCHEMA,
+            "sim_t": Checkpoint.loads(sys_._checkpoint_json).t,
+            "epoch_seq": sys_._epoch_seq,
+            "seed": sys_.sim_config.seed,
+            "schedule": sys_.faults.to_json(),
+            "checkpoint": sys_._checkpoint_json,
+        }
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with tmp.open("w") as fh:
+            json.dump(envelope, fh)
+        os.replace(tmp, path)
+        self._persisted_json = sys_._checkpoint_json
+        if _TEL.enabled:
+            _TEL.event("service_checkpoint_persisted", t=now,
+                       path=str(path), epoch_seq=sys_._epoch_seq)
+        return path
+
+    @staticmethod
+    def load_envelope(path: Union[str, Path]) -> Dict[str, Any]:
+        """Read and sanity-check a service checkpoint envelope."""
+        with Path(path).open() as fh:
+            doc = json.load(fh)
+        if doc.get("record") != "service_checkpoint":
+            raise ValueError(f"{path} is not a service checkpoint envelope")
+        if int(doc.get("schema", -1)) > ENVELOPE_SCHEMA:
+            raise ValueError(
+                f"{path} uses envelope schema {doc['schema']}; this build "
+                f"reads <= {ENVELOPE_SCHEMA}")
+        return doc
+
+    def restore_from(self, envelope: Dict[str, Any]) -> float:
+        """Warm-boot this (freshly built) service from an envelope.
+
+        Restores controller state (NIB/SIB/workload) from the inner
+        checkpoint, reinstalls the last committed tables and plans into
+        every cluster, synchronizes the two-phase installer's version
+        counters so new epochs supersede the restored install, and
+        imports the fault injector's progress — counters and fired
+        one-shot windows — so a resumed soak never replays a fault that
+        already happened.  Returns the resume sim time; the service
+        will start its clock there.
+
+        The system must have been constructed with the SAME fault
+        schedule the envelope records (`load_envelope` +
+        `FaultSchedule.from_json` rebuild it); fault ids are schedule-
+        order indices, so a different schedule would mis-map them.
+        """
+        sys_ = self.system
+        recorded = envelope.get("schedule")
+        if recorded is not None and recorded != sys_.faults.to_json():
+            raise ValueError(
+                "checkpoint schedule does not match the system's fault "
+                "schedule; rebuild the system with "
+                "FaultSchedule.from_json(envelope['schedule'])")
+        checkpoint_json = envelope["checkpoint"]
+        checkpoint = Checkpoint.loads(checkpoint_json)
+        t = float(envelope.get("sim_t", checkpoint.t))
+        checkpoint.restore(sys_.controller)
+        for code, cluster in sys_.clusters.items():
+            entries = checkpoint.tables.get(code, {})
+            plans = checkpoint.plans.get(code, {})
+            if entries or plans:
+                cluster.install(entries, plans,
+                                version=checkpoint.version or None, now=t)
+        sys_._epoch_seq = checkpoint.epoch_seq
+        sys_._checkpoint_json = checkpoint_json
+        self._persisted_json = None  # force a fresh persist on first epoch
+        if sys_._installer is not None:
+            sys_._installer.proposed_version = checkpoint.version
+            sys_._installer.committed_version = checkpoint.version
+        if sys_._injector is not None and checkpoint.fault_state:
+            sys_._injector.import_state(checkpoint.fault_state)
+        if sys_._res_counters is not None:
+            sys_._res_counters.restores_warm += 1
+        if _TEL.enabled:
+            _TEL.event("service_restore", t=t,
+                       epoch_seq=checkpoint.epoch_seq,
+                       version=checkpoint.version)
+        self._start_s = t
+        return t
+
+
+__all__ = [
+    "VirtualClock", "ServiceConfig", "ServiceResult", "ServiceError",
+    "XRONService", "ComponentStats", "build_soak_schedule",
+    "health_sample", "ENVELOPE_SCHEMA",
+]

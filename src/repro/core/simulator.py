@@ -273,6 +273,23 @@ class EpochSimulator:
         self._pools: Dict[str, ContainerPool] = {}
 
     # ------------------------------------------------------------------ api
+    def close(self) -> None:
+        """Release the controller's solve pool, if any (idempotent).
+
+        Sharded control modes hold fork worker processes; a simulator
+        dropped without teardown would strand them until GC finds the
+        pool's finalizer.  Long-lived drivers (`run_multi_day`, the
+        serve loop) close explicitly instead.
+        """
+        if self.controller is not None:
+            self.controller.close()
+
+    def __enter__(self) -> "EpochSimulator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def replace_underlay(self, underlay: Underlay) -> None:
         """Swap in a fresh underlay (same regions) between run() calls.
 

@@ -24,6 +24,7 @@ artifact CI uploads and diffs across runs.
 
 from __future__ import annotations
 
+import asyncio
 import multiprocessing
 import random
 import signal
@@ -56,6 +57,37 @@ class TransientExperimentError(Exception):
 
 #: Exception types whose failures the parallel path may retry.
 TRANSIENT_TYPES = (TransientExperimentError, OSError, MemoryError)
+
+
+class Deadline:
+    """Cooperative wall-clock deadline for worker kernels.
+
+    Unlike the signal-based :func:`_deadline`, this never touches
+    process-global state (no ``SIGALRM`` handler, no itimer), so it is
+    safe inside asyncio programs, non-main threads, and pool workers
+    that were forked from either.  Kernels call :meth:`check` between
+    bounded units of work (a DP row chunk, one route walk); the check
+    raises :class:`ExperimentTimeout` once the budget is spent.
+
+    ``timeout_s`` of ``None`` or ``<= 0`` disables the deadline.
+    """
+
+    __slots__ = ("timeout_s", "deadline")
+
+    def __init__(self, timeout_s: Optional[float]):
+        self.timeout_s = timeout_s
+        self.deadline = (time.monotonic() + float(timeout_s)
+                         if timeout_s is not None and timeout_s > 0
+                         else None)
+
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    def check(self) -> None:
+        """Raise :class:`ExperimentTimeout` once the budget is spent."""
+        if self.expired():
+            raise ExperimentTimeout(
+                f"exceeded {self.timeout_s:g}s budget")
 
 
 @dataclass
@@ -105,10 +137,24 @@ def _deadline(timeout_s: Optional[float]):
     of a process on platforms that have it — exactly the situation of a
     pool worker (and of the sequential CLI).  Elsewhere it is a no-op
     and the experiment simply runs to completion.
+
+    It also refuses to arm while an asyncio event loop is running in
+    this thread: asyncio owns signal delivery there (wakeup fd, signal
+    handlers installed via ``loop.add_signal_handler``), and swapping
+    the ``SIGALRM`` disposition underneath it clobbers whatever the
+    loop installed.  Code that needs timeouts under a live loop uses
+    the cooperative :class:`Deadline` instead.
     """
     usable = (timeout_s is not None and timeout_s > 0
               and hasattr(signal, "SIGALRM")
               and threading.current_thread() is threading.main_thread())
+    if usable:
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            pass  # no loop in this thread: SIGALRM is ours to use
+        else:
+            usable = False
     if not usable:
         yield
         return

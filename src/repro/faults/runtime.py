@@ -62,6 +62,10 @@ class FaultInjector:
         self._ids: Dict[FaultSpec, int] = {
             spec: index for index, spec in enumerate(schedule.specs)}
         self.counters = FaultCounters()
+        #: Fault ids of one-shot windows (gateway crashes) that already
+        #: fired.  Restored from checkpoints so a serve loop resuming at
+        #: t > 0 never replays a crash that already happened.
+        self._fired: set = set()
 
     def fault_id(self, spec: Optional[FaultSpec]) -> Optional[int]:
         """The schedule-order id of `spec` (None for None / foreign specs).
@@ -73,6 +77,37 @@ class FaultInjector:
         if spec is None:
             return None
         return self._ids.get(spec)
+
+    # ------------------------------------------------------- one-shot windows
+    def mark_fired(self, spec: FaultSpec) -> None:
+        """Record that a one-shot window (a crash) was applied."""
+        fid = self._ids.get(spec)
+        if fid is not None:
+            self._fired.add(fid)
+
+    def fired(self, spec: FaultSpec) -> bool:
+        """Whether `spec` was already applied (this run or pre-restore)."""
+        fid = self._ids.get(spec)
+        return fid is not None and fid in self._fired
+
+    # ------------------------------------------------------- checkpoint state
+    def export_state(self) -> Dict[str, object]:
+        """JSON-ready injector state for checkpoints.
+
+        Fault ids are schedule-order indices, so the exported state is
+        only meaningful against the *same* schedule; restorers should
+        verify the schedule matches before importing.
+        """
+        return {"counters": self.counters.as_dict(),
+                "fired": sorted(self._fired)}
+
+    def import_state(self, doc: Dict[str, object]) -> None:
+        """Restore counters and fired-window ids from `export_state`."""
+        counters = doc.get("counters") or {}
+        for name, value in counters.items():
+            if hasattr(self.counters, name):
+                setattr(self.counters, name, int(value))
+        self._fired = set(int(fid) for fid in doc.get("fired") or ())
 
     # ------------------------------------------------------------- controller
     def controller_down(self, now: float) -> Optional[FaultSpec]:

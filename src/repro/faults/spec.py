@@ -223,6 +223,18 @@ class FaultSchedule:
     def extended(self, *specs: FaultSpec) -> "FaultSchedule":
         return FaultSchedule(self.specs + tuple(specs))
 
+    def shifted(self, dt: float) -> "FaultSchedule":
+        """The same schedule translated `dt` seconds later.
+
+        Schedules are written in absolute sim time; a driver that
+        anchors a canned schedule at its own start (a serve loop, a
+        resumed soak) shifts it instead of rewriting every spec.
+        """
+        from dataclasses import replace as _replace
+        return FaultSchedule(tuple(
+            _replace(spec, start_s=spec.start_s + dt)
+            for spec in self.specs))
+
     # ------------------------------------------------------------------ json
     def to_json(self) -> List[Dict[str, object]]:
         return [spec.to_json() for spec in self.specs]

@@ -127,6 +127,14 @@ class TelemetryStream:
             self._fh.close()
             self._fh = None
 
+    def __enter__(self) -> "TelemetryStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        # No registry here: the owner flushes final deltas explicitly
+        # (or closes via `Telemetry.detach_stream`, which does).
+        self.close()
+
     # ------------------------------------------------------------- internal
     def _part_path(self, part: int) -> Path:
         return self._directory / f"{self._stem}.{part:05d}{self._suffix}"

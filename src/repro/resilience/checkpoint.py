@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.controlplane.controller import Controller
 from repro.resilience.invariants import Plans, Tables
@@ -47,16 +47,22 @@ class Checkpoint:
     tables: Tables
     #: Last committed reaction plans, per region.
     plans: Plans
+    #: `FaultInjector.export_state` document (None without a schedule).
+    #: Anchoring injector progress in the checkpoint is what lets a
+    #: restore at t > 0 skip already-fired one-shot fault windows.
+    fault_state: Optional[Dict[str, object]] = None
 
     # --------------------------------------------------------------- capture
     @classmethod
     def take(cls, controller: Controller, tables: Tables, plans: Plans,
-             *, t: float, epoch_seq: int, version: int) -> "Checkpoint":
+             *, t: float, epoch_seq: int, version: int,
+             fault_state: Optional[Dict[str, object]] = None) -> "Checkpoint":
         """Snapshot a live controller and the last committed install."""
         return cls(t=float(t), epoch_seq=int(epoch_seq), version=int(version),
                    controller_state=controller.export_state(),
                    tables={code: dict(rows) for code, rows in tables.items()},
-                   plans={code: dict(rows) for code, rows in plans.items()})
+                   plans={code: dict(rows) for code, rows in plans.items()},
+                   fault_state=fault_state)
 
     def restore(self, controller: Controller) -> None:
         """Load this checkpoint into a freshly constructed controller."""
@@ -64,7 +70,7 @@ class Checkpoint:
 
     # ------------------------------------------------------------------ json
     def to_json(self) -> Dict[str, object]:
-        return {
+        doc: Dict[str, object] = {
             "t": self.t,
             "epoch_seq": self.epoch_seq,
             "version": self.version,
@@ -78,6 +84,12 @@ class Checkpoint:
                        for sid, relays in sorted(rows.items())}
                 for code, rows in sorted(self.plans.items())},
         }
+        # Kept out of the document when absent so checkpoints from
+        # fault-free runs stay byte-identical to the pre-fault-state
+        # format (and old checkpoints load unchanged).
+        if self.fault_state is not None:
+            doc["fault_state"] = self.fault_state
+        return doc
 
     @classmethod
     def from_json(cls, doc: Dict[str, object]) -> "Checkpoint":
@@ -92,7 +104,8 @@ class Checkpoint:
         return cls(t=float(doc["t"]), epoch_seq=int(doc["epoch_seq"]),
                    version=int(doc["version"]),
                    controller_state=doc["controller_state"],
-                   tables=tables, plans=plans)
+                   tables=tables, plans=plans,
+                   fault_state=doc.get("fault_state"))
 
     def dumps(self) -> str:
         return json.dumps(self.to_json())

@@ -1,0 +1,146 @@
+"""Lifecycle/leak regression tests for `ControlPool` (issue #9).
+
+A batch epoch run forks a worker pool, computes, and exits — a leaked
+executor was invisible.  A long-running service that rebuilds its
+controller on every warm restart would accumulate orphaned fork workers
+without deterministic teardown.  These tests pin down every release
+path: explicit `close()`, the context managers, permanent degradation,
+and the `weakref.finalize` GC backstop for pools dropped without any
+of those.
+"""
+
+import gc
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.controlplane import pathcontrol as _pc
+from repro.controlplane.controller import Controller
+from repro.controlplane.model import ControlConfig
+from repro.controlplane.sharded import _DP_CHUNK_ROWS, ControlPool, _dp_shard
+from repro.experiments.orchestrator import ExperimentTimeout
+
+
+def _live_children():
+    # active_children() also reaps finished processes, so polling it is
+    # how we observe asynchronous worker exits.
+    return len(multiprocessing.active_children())
+
+
+def _wait_children(target, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if _live_children() <= target:
+            return True
+        time.sleep(0.05)
+    return _live_children() <= target
+
+
+@pytest.fixture
+def baseline():
+    assert _wait_children(0), "leaked children from a previous test"
+    return 0
+
+
+def test_close_reaps_workers(baseline):
+    pool = ControlPool(2, min_shard_rows=1)
+    assert pool._pool() is not None
+    w = np.random.default_rng(0).uniform(1, 10, (8, 8))
+    pool.dp_fn(w, 3)  # forces the workers to actually start
+    assert _live_children() > baseline
+    pool.close()
+    assert _wait_children(baseline)
+    # Idempotent, and a closed pool never re-forks.
+    pool.close()
+    assert pool._pool() is None
+
+
+def test_context_manager_reaps_workers(baseline):
+    with ControlPool(2, min_shard_rows=1) as pool:
+        pool.dp_fn(np.random.default_rng(1).uniform(1, 10, (8, 8)), 3)
+        assert _live_children() > baseline
+    assert _wait_children(baseline)
+
+
+def test_finalizer_reaps_abandoned_pool(baseline):
+    """A pool dropped without close() must not strand its fork workers."""
+    pool = ControlPool(2, min_shard_rows=1)
+    pool.dp_fn(np.random.default_rng(2).uniform(1, 10, (8, 8)), 3)
+    assert _live_children() > baseline
+    finalizer = pool._finalizer
+    assert finalizer is not None and finalizer.alive
+    del pool
+    gc.collect()
+    assert not finalizer.alive  # the backstop ran...
+    assert _wait_children(baseline)  # ...and the workers exited
+
+
+def test_close_detaches_the_finalizer(baseline):
+    pool = ControlPool(2, min_shard_rows=1)
+    pool.dp_fn(np.random.default_rng(3).uniform(1, 10, (8, 8)), 3)
+    finalizer = pool._finalizer
+    pool.close()
+    # Explicit close detached the backstop: nothing left for GC to do.
+    assert pool._finalizer is None
+    assert not finalizer.alive
+    assert _wait_children(baseline)
+
+
+def test_degrade_shuts_down_and_detaches(baseline):
+    pool = ControlPool(2, min_shard_rows=1)
+    pool.dp_fn(np.random.default_rng(4).uniform(1, 10, (8, 8)), 3)
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        pool._degrade("test", RuntimeError("boom"))
+    assert pool._finalizer is None
+    assert pool._pool() is None  # permanently degraded
+    assert _wait_children(baseline)
+    # The degraded pool still solves, in process.
+    w = np.random.default_rng(5).uniform(1, 10, (8, 8))
+    dist, _, _ = pool.dp_fn(w, 3)
+    expect, _, _ = _pc._dp_layers(w, 3)
+    np.testing.assert_array_equal(dist, expect)
+
+
+def test_controller_context_manager_closes_pool(baseline):
+    with Controller(["AAA", "BBB", "CCC"], ControlConfig(),
+                    control_mode="sharded", shard_workers=2) as controller:
+        assert controller._pool is not None
+    assert controller._pool._closed
+    assert _wait_children(baseline)
+
+
+# ------------------------------------------------- cooperative deadlines
+def test_dp_shard_chunking_is_bit_identical():
+    """Sub-chunked DP shards merge to exactly the monolithic rows."""
+    n = _DP_CHUNK_ROWS + 37  # forces the multi-chunk path
+    w = np.random.default_rng(6).uniform(1.0, 50.0, (n, n))
+    np.fill_diagonal(w, 0.0)
+    got = _dp_shard(w, 0, n, 3, timeout_s=None)
+    wT = np.ascontiguousarray(w.T)
+    expect = _pc.dp_row_block(w, wT, 0, n, 3)
+    np.testing.assert_array_equal(got[0], expect[0])
+    for layer in range(3):
+        np.testing.assert_array_equal(got[1][layer], expect[1][layer])
+        np.testing.assert_array_equal(got[2][layer], expect[2][layer])
+
+
+def test_dp_shard_deadline_expires_cooperatively():
+    n = _DP_CHUNK_ROWS * 2
+    w = np.random.default_rng(7).uniform(1.0, 50.0, (n, n))
+    time.sleep(0.002)  # ensure the epsilon deadline is already past
+    with pytest.raises(ExperimentTimeout):
+        _dp_shard(w, 0, n, 3, timeout_s=1e-9)
+
+
+def test_pool_timeout_degrades_not_hangs(baseline):
+    """A worker blowing its deadline degrades the pool, in bounded time."""
+    pool = ControlPool(2, min_shard_rows=1, timeout_s=1e-9)
+    w = np.random.default_rng(8).uniform(1.0, 50.0, (64, 64))
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        dist, _, _ = pool.dp_fn(w, 3)
+    expect, _, _ = _pc._dp_layers(w, 3)
+    np.testing.assert_array_equal(dist, expect)
+    assert pool._broken
+    assert _wait_children(baseline)

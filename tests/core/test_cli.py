@@ -76,3 +76,51 @@ def test_demo_chaos_streams_slo_and_profile_end_to_end(tmp_path, capsys):
     (breach,) = read_many(parts).events_of("slo_breach")
     assert breach["cause_kind"] == "fault_probe_blackout"
     assert breach["cause_fault_id"] == 0
+
+
+def test_serve_soak_checkpoint_and_resume(tmp_path, capsys):
+    """The serve soak through the CLI: chaos window, drain checkpoint,
+    then a resumed leg that finishes the window without replaying the
+    fired crash (issue #9)."""
+    import json
+
+    checkpoint = tmp_path / "cp.json"
+    health1 = tmp_path / "health1.json"
+    rc = main(["serve", "--minutes", "10", "--chaos",
+               "--chaos-period", "240", "--quiet", "--heartbeat-s", "120",
+               "--checkpoint", str(checkpoint),
+               "--health-out", str(health1)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "serve: completed" in out
+    doc1 = json.loads(health1.read_text())
+    assert doc1["drained"]
+    assert doc1["fault_counters"]["gateways_crashed"] == 1
+    assert doc1["fault_state"]["fired"] == [0]
+    assert checkpoint.exists()
+
+    # Resume from the mid-soak envelope: the window is already complete,
+    # so the resumed leg is a no-op that still drains cleanly — and the
+    # fired crash window is NOT replayed.
+    health2 = tmp_path / "health2.json"
+    rc = main(["serve", "--minutes", "10", "--resume", "--quiet",
+               "--checkpoint", str(checkpoint),
+               "--health-out", str(health2)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "resumed from" in out
+    doc2 = json.loads(health2.read_text())
+    assert doc2["drained"]
+    # Counters travelled with the checkpoint: still exactly one crash.
+    assert doc2["fault_counters"]["gateways_crashed"] == 1
+    assert doc2["fault_state"]["fired"] == [0]
+
+
+def test_serve_resume_requires_checkpoint(capsys):
+    assert main(["serve", "--minutes", "1", "--resume"]) == 2
+    assert "--checkpoint" in capsys.readouterr().err
+
+
+def test_serve_rejects_empty_window(capsys):
+    assert main(["serve"]) == 2
+    assert "positive" in capsys.readouterr().err

@@ -1,0 +1,325 @@
+"""Tests for the always-on service mode (`repro.core.service`)."""
+
+import asyncio
+import json
+import multiprocessing
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.eventsim import EventDrivenXRON
+from repro.core.service import (ServiceConfig, ServiceError, VirtualClock,
+                                XRONService, build_soak_schedule)
+from repro.core.variants import xron
+from repro.faults import spec as fault_spec
+from repro.faults.spec import FaultSchedule
+from repro.resilience.config import resilience
+from repro.traffic.demand import DemandModel
+from repro.underlay.config import UnderlayConfig
+from repro.underlay.linkstate import LinkType
+from repro.underlay.regions import default_regions
+from repro.underlay.scenarios import quiet_link
+from repro.underlay.topology import build_underlay
+
+
+@pytest.fixture(scope="module")
+def regions():
+    by_code = {r.code: r for r in default_regions()}
+    return [by_code[c] for c in ("HGH", "SIN", "FRA")]
+
+
+def _build_system(regions, seed=5, faults=None, with_resilience=True,
+                  measure_interval_s=5.0):
+    config = UnderlayConfig(horizon_s=7200.0)
+    config.internet.base_loss_min = 1e-6
+    config.internet.base_loss_max = 1e-5
+    config.internet.diurnal_loss_amp = 0.0
+    for tier in (config.internet, config.premium):
+        tier.short_events_per_day = 0.0
+        tier.long_events_per_day = 0.0
+    underlay = build_underlay(regions, config, seed=seed)
+    for (a, b) in underlay.pairs:
+        for lt in (LinkType.INTERNET, LinkType.PREMIUM):
+            quiet_link(underlay, a, b, lt)
+    demand = DemandModel(regions, seed=seed)
+    from dataclasses import replace
+    return EventDrivenXRON(
+        underlay, demand, variant=replace(xron(), elastic=False),
+        sim_config=SimulationConfig(epoch_s=60.0, eval_step_s=60.0,
+                                    seed=seed, demand_scale=0.05,
+                                    initial_gateways=4),
+        measure_interval_s=measure_interval_s,
+        faults=faults,
+        resilience=resilience() if with_resilience else None)
+
+
+# ---------------------------------------------------------------- the clock
+def test_clock_fires_timers_in_time_priority_seq_order():
+    clock = VirtualClock(0.0)
+    order = []
+    clock.schedule_at(10.0, lambda: order.append("b"), priority=1)
+    clock.schedule_at(10.0, lambda: order.append("a"), priority=0)
+    clock.schedule_at(5.0, lambda: order.append("first"), priority=3)
+    clock.schedule_at(10.0, lambda: order.append("c"), priority=1)
+
+    async def main():
+        return await clock.drive(100.0, asyncio.Event())
+
+    reason = asyncio.run(main())
+    assert reason == "drained"
+    assert order == ["first", "a", "b", "c"]
+    assert clock.events_processed == 4
+
+
+def test_clock_rejects_scheduling_in_the_past():
+    from repro.sim.engine import SimulationError
+    clock = VirtualClock(100.0)
+    with pytest.raises(SimulationError):
+        clock.schedule(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        clock.schedule_at(99.0, lambda: None)
+
+
+def test_clock_interleaves_sleepers_and_timers_deterministically():
+    clock = VirtualClock(0.0)
+    order = []
+    clock.schedule_at(20.0, lambda: order.append("timer@20"), priority=0)
+
+    async def sleeper(name, t, priority):
+        await clock.sleep_until(t, priority)
+        order.append(name)
+        clock.release()
+
+    async def main():
+        clock.register()
+        clock.register()
+        asyncio.ensure_future(sleeper("low@20", 20.0, 2))
+        asyncio.ensure_future(sleeper("high@20", 20.0, -1))
+        return await clock.drive(100.0, asyncio.Event())
+
+    reason = asyncio.run(main())
+    assert reason == "drained"
+    assert order == ["high@20", "timer@20", "low@20"]
+
+
+def test_clock_completes_at_window_end_without_draining():
+    clock = VirtualClock(0.0)
+    fired = []
+    clock.schedule_at(50.0, lambda: fired.append(50.0))
+    clock.schedule_at(150.0, lambda: fired.append(150.0))
+
+    async def main():
+        return await clock.drive(100.0, asyncio.Event())
+
+    assert asyncio.run(main()) == "completed"
+    assert fired == [50.0]
+    assert clock.now == 100.0
+
+
+# -------------------------------------------------------------- the service
+def test_service_runs_a_window_and_drains(tmp_path, regions):
+    system = _build_system(regions)
+    config = ServiceConfig(duration_s=300.0, heartbeat_s=60.0,
+                           checkpoint_path=tmp_path / "cp.json")
+    service = XRONService(system, config, start_s=0.0)
+    result = asyncio.run(service.run_async())
+    assert result.stop_reason == "completed"
+    assert result.drained
+    assert result.sim_t1 == 300.0
+    # Epochs at t=0, 60, ..., 300 inclusive.
+    assert result.epochs == 6
+    assert result.heartbeats == 5
+    assert result.eventsim.probe_bytes > 0
+    assert any(r.times for r in result.eventsim.sessions.values())
+    # The drain persisted a resumable envelope.
+    envelope = XRONService.load_envelope(tmp_path / "cp.json")
+    assert envelope["sim_t"] == 300.0
+    assert envelope["epoch_seq"] == 6
+    # Teardown left no stranded fork workers.
+    assert multiprocessing.active_children() == []
+
+
+def test_service_is_deterministic(regions):
+    def run_once():
+        system = _build_system(regions)
+        service = XRONService(
+            system, ServiceConfig(duration_s=300.0, heartbeat_s=150.0))
+        result = asyncio.run(service.run_async())
+        return result
+
+    a, b = run_once(), run_once()
+    assert a.events_processed == b.events_processed
+    assert a.epochs == b.epochs
+    for pair in a.eventsim.sessions:
+        assert (a.eventsim.sessions[pair].latency_ms
+                == b.eventsim.sessions[pair].latency_ms)
+
+
+def test_service_matches_batch_engine(regions):
+    """The asyncio clock reproduces the batch engine's run exactly.
+
+    Same components, same priorities, same RNG draw order: the session
+    measurements and fault accounting must be identical to
+    `EventDrivenXRON.run` over the same window.
+    """
+    schedule = FaultSchedule.of(
+        fault_spec.gateway_crash(100.0, 60.0, regions[0].code),
+        fault_spec.probe_blackout(200.0, 60.0, region=regions[1].code))
+    batch = _build_system(regions, faults=schedule)
+    batch_result = batch.run(0.0, 400.0)
+    batch.close()
+
+    served = _build_system(regions, faults=schedule)
+    service = XRONService(served, ServiceConfig(duration_s=400.0))
+    live_result = asyncio.run(service.run_async()).eventsim
+
+    assert len(live_result.control_outputs) == len(
+        batch_result.control_outputs)
+    assert live_result.fault_counters == batch_result.fault_counters
+    assert live_result.probe_bytes == batch_result.probe_bytes
+    for pair, record in batch_result.sessions.items():
+        live = live_result.sessions[pair]
+        assert live.times == record.times
+        assert live.latency_ms == record.latency_ms
+        assert live.on_backup == record.on_backup
+
+
+def test_service_stop_request_drains_immediately(tmp_path, regions):
+    system = _build_system(regions)
+    config = ServiceConfig(duration_s=600.0, heartbeat_s=60.0,
+                           checkpoint_path=tmp_path / "cp.json")
+    service = XRONService(system, config)
+
+    async def main():
+        task = asyncio.ensure_future(service.run_async())
+        while service.clock is None or service.clock.now < 150.0:
+            await asyncio.sleep(0.001)
+        service.request_stop("test-stop")
+        return await task
+
+    result = asyncio.run(main())
+    assert result.stop_reason == "test-stop"
+    assert result.drained
+    assert 150.0 <= result.sim_t1 < 600.0
+    # The drain checkpoint reflects the stop time, not the window end.
+    envelope = XRONService.load_envelope(tmp_path / "cp.json")
+    assert envelope["sim_t"] <= result.sim_t1
+
+
+def test_component_error_drains_and_raises(regions):
+    system = _build_system(regions)
+    service = XRONService(system, ServiceConfig(duration_s=300.0))
+
+    def boom():
+        raise RuntimeError("injected component failure")
+
+    system._flush_passive = lambda sim: boom()
+    with pytest.raises(ServiceError, match="injected component failure"):
+        asyncio.run(service.run_async())
+    # The drain still ran: no stranded children, controller closed.
+    assert multiprocessing.active_children() == []
+
+
+# ------------------------------------------------------- checkpoint/restore
+def test_restore_mid_schedule_does_not_replay_fired_faults(tmp_path, regions):
+    """A resumed soak skips crash windows that already fired (issue #9).
+
+    Two crash windows; the first leg runs past the first, drains, and
+    the second leg restores from the envelope and finishes the window.
+    Total crashes across both legs must equal the scheduled count —
+    under the old absolute-offset assumption the restored run would
+    re-fire the first window and crash twice the gateways.
+    """
+    schedule = FaultSchedule.of(
+        fault_spec.gateway_crash(100.0, 60.0, regions[0].code),
+        fault_spec.gateway_crash(400.0, 60.0, regions[1].code))
+    path = tmp_path / "cp.json"
+
+    leg1_system = _build_system(regions, faults=schedule)
+    leg1 = XRONService(leg1_system,
+                       ServiceConfig(duration_s=250.0, checkpoint_path=path))
+    leg1_result = asyncio.run(leg1.run_async())
+    assert leg1_result.eventsim.fault_counters["gateways_crashed"] == 1
+    envelope = XRONService.load_envelope(path)
+    inner = json.loads(envelope["checkpoint"])
+    assert inner["fault_state"]["fired"] == [0]
+
+    leg2_system = _build_system(regions, faults=schedule)
+    leg2 = XRONService(leg2_system,
+                       ServiceConfig(duration_s=600.0, checkpoint_path=path))
+    t = leg2.restore_from(envelope)
+    assert t == pytest.approx(250.0)
+    leg2.config.duration_s = 600.0 - t
+    leg2_result = asyncio.run(leg2.run_async())
+
+    # Counters are imported with the checkpoint, so the leg-2 totals are
+    # cumulative: exactly one crash per scheduled window, never two.
+    counters = leg2_result.eventsim.fault_counters
+    assert counters["gateways_crashed"] == 2
+    assert counters["gateways_restarted"] == 2
+    assert sorted(leg2_system._injector.export_state()["fired"]) == [0, 1]
+
+
+def test_restore_rejects_mismatched_schedule(tmp_path, regions):
+    schedule = FaultSchedule.of(
+        fault_spec.gateway_crash(100.0, 60.0, regions[0].code))
+    path = tmp_path / "cp.json"
+    leg1 = XRONService(_build_system(regions, faults=schedule),
+                       ServiceConfig(duration_s=200.0, checkpoint_path=path))
+    asyncio.run(leg1.run_async())
+    envelope = XRONService.load_envelope(path)
+
+    other = FaultSchedule.of(
+        fault_spec.gateway_crash(500.0, 60.0, regions[0].code))
+    leg2 = XRONService(_build_system(regions, faults=other),
+                       ServiceConfig(duration_s=600.0))
+    with pytest.raises(ValueError, match="schedule"):
+        leg2.restore_from(envelope)
+
+
+def test_restore_resumes_controller_state(tmp_path, regions):
+    """The restored controller predicts from the checkpointed SIB."""
+    path = tmp_path / "cp.json"
+    leg1_system = _build_system(regions)
+    leg1 = XRONService(leg1_system,
+                       ServiceConfig(duration_s=300.0, checkpoint_path=path))
+    asyncio.run(leg1.run_async())
+    sib_state = leg1_system.controller.sib.export_state()
+
+    leg2_system = _build_system(regions)
+    leg2 = XRONService(leg2_system,
+                       ServiceConfig(duration_s=600.0, checkpoint_path=path))
+    t = leg2.restore_from(XRONService.load_envelope(path))
+    assert t == pytest.approx(300.0)
+    # SIB demand history survived the round trip (the expensive state).
+    assert leg2_system.controller.sib.export_state() == sib_state
+    assert leg2_system._epoch_seq == leg1_system._epoch_seq
+    # The last committed tables are live before the first epoch runs.
+    for code, cluster in leg2_system.clusters.items():
+        assert (cluster.current_entries()
+                == leg1_system.clusters[code].current_entries())
+
+
+def test_envelope_round_trip_rejects_foreign_files(tmp_path):
+    bogus = tmp_path / "not-an-envelope.json"
+    bogus.write_text(json.dumps({"record": "something-else"}))
+    with pytest.raises(ValueError, match="not a service checkpoint"):
+        XRONService.load_envelope(bogus)
+
+
+# ------------------------------------------------------------ soak schedule
+def test_build_soak_schedule_is_deterministic_and_sorted():
+    codes = ["HGH", "SIN", "FRA"]
+    a = build_soak_schedule(0.0, 3600.0, codes)
+    b = build_soak_schedule(0.0, 3600.0, codes)
+    assert a.to_json() == b.to_json()
+    assert len(a.specs) == 6  # lead 120, period 600, tail margin 180
+    starts = [s.start_s for s in a.specs]
+    assert starts == sorted(starts)
+    kinds = {s.kind for s in a.specs}
+    assert len(kinds) == 6  # the rotation walks the taxonomy
+
+
+def test_build_soak_schedule_requires_regions():
+    with pytest.raises(ValueError):
+        build_soak_schedule(0.0, 3600.0, [])
