@@ -284,6 +284,7 @@ def _build_serve_system(args: argparse.Namespace, slo_engine, schedule):
     """Construct the soak deployment; returns (system, region_codes)."""
     from dataclasses import replace
 
+    from repro.controlplane import membership, regional_control
     from repro.core.config import SimulationConfig
     from repro.core.eventsim import EventDrivenXRON
     from repro.core.variants import xron
@@ -312,6 +313,12 @@ def _build_serve_system(args: argparse.Namespace, slo_engine, schedule):
                                     initial_gateways=4),
         faults=schedule,
         resilience=resilience(),
+        # Partition tolerance: the soak rotation now includes control
+        # partitions and membership churn, so the service arms the
+        # subsystems that answer them (soft-state liveness + regional
+        # degraded-mode control).
+        membership=membership(),
+        regional=regional_control(),
         slo=slo_engine)
     return system, [r.code for r in regions]
 
@@ -428,8 +435,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "health_last": result.health_last,
                 "heartbeats": service.heartbeats,
                 "fault_counters": result.eventsim.fault_counters,
+                "fault_kind_counters": (injector.counters.by_kind()
+                                        if injector is not None else None),
                 "fault_state": (injector.export_state()
                                 if injector is not None else None),
+                "membership_size": (system._membership.size
+                                    if system._membership is not None
+                                    else None),
+                "membership_counters": result.eventsim.membership_counters,
+                "active_partitions": (
+                    len(injector.active_partitions(result.sim_t1))
+                    if injector is not None else 0),
+                "partition_counters": result.eventsim.partition_counters,
                 "checkpoint": result.checkpoint_path,
             }
             with open(args.health_out, "w") as fh:

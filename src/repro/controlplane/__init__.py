@@ -17,6 +17,11 @@ from repro.controlplane.capacity import CapacityDecision, capacity_control
 from repro.controlplane.objective import evaluate_objective
 from repro.controlplane.reactionplan import ReactionPlan, generate_reaction_plans
 from repro.controlplane.controller import Controller, ControlOutput
+from repro.controlplane.membership import (MembershipConfig, MembershipTable,
+                                           membership)
+from repro.controlplane.regional import (PartitionCounters,
+                                         RegionalControlConfig,
+                                         RegionalController, regional_control)
 
 __all__ = [
     "NetworkInformationBase",
@@ -38,4 +43,11 @@ __all__ = [
     "generate_reaction_plans",
     "Controller",
     "ControlOutput",
+    "MembershipConfig",
+    "MembershipTable",
+    "membership",
+    "PartitionCounters",
+    "RegionalControlConfig",
+    "RegionalController",
+    "regional_control",
 ]

@@ -31,7 +31,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.controlplane.controller import Controller, ControlOutput
+from repro.controlplane.membership import MembershipConfig, MembershipTable
 from repro.controlplane.model import ControlConfig
+from repro.controlplane.regional import (PartitionCounters,
+                                         RegionalControlConfig,
+                                         RegionalController)
 from repro.core.config import SimulationConfig
 from repro.core.variants import VariantSpec, xron
 from repro.dataplane.cluster import RegionCluster
@@ -106,6 +110,10 @@ class EventSimResult:
     fault_counters: Optional[Dict[str, int]] = None
     #: What the resilience layer actually did (None when disabled).
     resilience_counters: Optional[Dict[str, int]] = None
+    #: Soft-state membership activity (None when disabled).
+    membership_counters: Optional[Dict[str, int]] = None
+    #: Partition-tolerance activity (None without regional control).
+    partition_counters: Optional[Dict[str, int]] = None
 
 
 class EventDrivenXRON:
@@ -122,7 +130,9 @@ class EventDrivenXRON:
                  faults: Optional[FaultSchedule] = None,
                  resilience: Optional[ResilienceConfig] = None,
                  sib_params: Optional[Dict[str, int]] = None,
-                 slo: Optional[object] = None):
+                 slo: Optional[object] = None,
+                 membership: Optional[MembershipConfig] = None,
+                 regional: Optional[RegionalControlConfig] = None):
         """`faults` is a declarative `FaultSchedule` of timed failures
         (gateway crashes, probe blackouts, NIB report loss/staleness,
         delayed/partial installs, provisioning storms, controller
@@ -146,6 +156,16 @@ class EventDrivenXRON:
         blackholed flag).  The engine is a passive observer: it draws
         no randomness and never touches simulator state, so arming it
         leaves simulation output byte-identical.
+
+        `membership` arms the controller's soft-state gateway liveness
+        (`repro.controlplane.membership`): probe-report batches that
+        reach the controller refresh TTL'd entries, expiry demotes a
+        silent region out of global path control.  `regional` arms
+        per-partition degraded-mode sub-controllers
+        (`repro.controlplane.regional`), which need the resilience
+        layer — heal-time reconciliation rides the two-phase install
+        versioning.  Both are off by default and normalize to ``None``
+        so disabled runs stay byte-identical to a build without them.
 
         `controller_outage` = (start_s, end_s) is the deprecated
         pre-schedule spelling of one controller outage; it is folded
@@ -203,6 +223,29 @@ class EventDrivenXRON:
         #: discarded when a newer one already landed.
         self._install_seq: Dict[str, int] = {}
         self._epoch_seq = 0
+        #: Soft-state membership (None when disabled: single-seam test).
+        self.membership_config = (membership
+                                  if membership is not None
+                                  and membership.enabled else None)
+        self._membership = (MembershipTable(self.membership_config)
+                            if self.membership_config is not None else None)
+        #: Regional degraded-mode control (None when disabled).
+        self.regional_config = (regional
+                                if regional is not None and regional.enabled
+                                else None)
+        if self.regional_config is not None and self._installer is None:
+            raise ValueError(
+                "regional sub-controllers need the resilience layer: "
+                "heal-time reconciliation rides the two-phase install "
+                "versioning (pass resilience=resilience())")
+        #: Active sub-controllers, keyed by their (sorted) region set.
+        self._regional: Dict[Tuple[str, ...], RegionalController] = {}
+        self._partition_counters = (PartitionCounters()
+                                    if self.regional_config is not None
+                                    else None)
+        #: Epoch seq at the last heal; the next global commit closes the
+        #: reconvergence window it opens.
+        self._reconverge_epoch0: Optional[int] = None
 
         self.controller = self._make_controller()
         reaction = replace(
@@ -319,7 +362,12 @@ class EventDrivenXRON:
             fault_counters=(self._injector.counters.as_dict()
                             if self._injector is not None else None),
             resilience_counters=(self._res_counters.as_dict()
-                                 if self._res_counters is not None else None))
+                                 if self._res_counters is not None else None),
+            membership_counters=(self._membership.counters.as_dict()
+                                 if self._membership is not None else None),
+            partition_counters=(self._partition_counters.as_dict()
+                                if self._partition_counters is not None
+                                else None))
 
     def close(self) -> None:
         """Release held resources: the controller's solve pool (idempotent).
@@ -330,6 +378,9 @@ class EventDrivenXRON:
         """
         if self.controller is not None:
             self.controller.close()
+        for sub in self._regional.values():
+            sub.close()
+        self._regional.clear()
 
     def __enter__(self) -> "EventDrivenXRON":
         return self
@@ -343,13 +394,46 @@ class EventDrivenXRON:
         # process, not a paused one: reports sent while it is down are
         # lost, which is what makes the post-outage NIB/SIB state an
         # honest recovery problem instead of a free warm cache.
+        now = sim.now
         lost = (self.resilience is not None and self.resilience.model_restart
                 and self._injector is not None
-                and self._injector.controller_down(sim.now) is not None)
+                and self._injector.controller_down(now) is not None)
+        partitioned = (self._injector.partition_regions(now)
+                       if self._injector is not None else frozenset())
         for cluster in self.clusters.values():
-            reports = cluster.probe_round(sim.now)
+            reports = cluster.probe_round(now)
+            if partitioned and cluster.region in partitioned:
+                # Severed: the reports never cross the partition edge to
+                # the global controller (its NIB ages, its membership
+                # entries starve).  An active sub-controller covering
+                # this region ingests them into its local NIB instead.
+                self._injector.counters.reports_severed += len(reports)
+                for sub in self._regional.values():
+                    if sub.covers(cluster.region):
+                        sub.ingest_reports(reports)
+                        break
+                continue
             if not lost:
                 self.controller.nib.update_many(reports)
+                if self._membership is not None and reports:
+                    self._membership_refresh(cluster, now)
+
+    def _membership_refresh(self, cluster: RegionCluster,
+                            now: float) -> None:
+        """One region's probe batch reached the controller: refresh its
+        soft-state liveness — unless a churn fault eats the refresh."""
+        if self._injector is not None:
+            spec = self._injector.membership_churn(cluster.region, now)
+            if spec is not None:
+                self._injector.counters.refreshes_churned += 1
+                if _TEL.enabled:
+                    _TEL.counter("fault.refreshes_churned").inc()
+                    _TEL.event("fault_membership_churn", t=now,
+                               region=cluster.region,
+                               fault_id=self._injector.fault_id(spec))
+                return
+        self._membership.refresh(cluster.region, cluster.gateways.keys(),
+                                 now)
 
     def _flush_passive(self, sim: Simulator) -> None:
         for cluster in self.clusters.values():
@@ -357,6 +441,18 @@ class EventDrivenXRON:
 
     def _control_epoch(self, sim: Simulator) -> None:
         now = sim.now
+        partitioned = (self._injector.partition_regions(now)
+                       if self._injector is not None else frozenset())
+        if partitioned and _TEL.enabled:
+            for spec in self._injector.active_partitions(now):
+                _TEL.event("fault_control_partition", t=now,
+                           regions=list(spec.regions),
+                           fault_id=self._injector.fault_id(spec))
+        if self._regional:
+            # Heal first: fencing the installer BEFORE this epoch's
+            # next_version() guarantees the first post-heal global
+            # install supersedes every regional table.
+            self._reconcile_healed(sim, now)
         outage = (self._injector.controller_down(now)
                   if self._injector is not None else None)
         if outage is not None:
@@ -381,6 +477,10 @@ class EventDrivenXRON:
                 # The outage killed the process: the first epoch after it
                 # ends must restart the controller (cold or warm).
                 self._restart_pending = True
+            if self.regional_config is not None and partitioned:
+                # Sub-controllers are separate processes inside their
+                # partitions: a global outage does not stop them.
+                self._partition_tick(sim, partitioned)
             return
         if self._restart_pending:
             self._perform_restart(sim)
@@ -393,11 +493,20 @@ class EventDrivenXRON:
                                           self.sim_config.demand_scale)
         ready = {code: max(1, self.pools[code].ready_count(now))
                  for code in self.underlay.codes}
+        if self._membership is not None:
+            # Sweep TTL-expired entries, then cap each region's usable
+            # capacity at its live count: a region whose refreshes are
+            # severed (partition, blackout, churn) drops to zero and is
+            # routed AROUND instead of through.
+            self._membership.expire(now)
+            ready = self._membership.clamp(ready, now)
         output = self.controller.run_epoch(now, matrix, ready)
         self.control_outputs.append(output)
 
         if self.variant.elastic:
             for code, target in output.capacity.target.items():
+                if partitioned and code in partitioned:
+                    continue  # the autoscaler cannot reach a severed region
                 self.pools[code].scale_to(target, now)
             if _TEL.enabled:
                 _TEL.event("autoscale", t=now, policy="capacity_control",
@@ -405,6 +514,8 @@ class EventDrivenXRON:
                            ready=sum(ready.values()))
         # The fleet follows the pool's *ready* container count.
         for code, cluster in self.clusters.items():
+            if partitioned and code in partitioned:
+                continue
             cluster.scale_to(max(1, self.pools[code].ready_count(now)))
 
         # Install forwarding tables and per-region reaction plans.
@@ -419,10 +530,20 @@ class EventDrivenXRON:
             self._install_two_phase(sim, output, plans_by_region)
         else:
             for code, cluster in self.clusters.items():
+                if partitioned and code in partitioned:
+                    self._sever_install(code)
+                    continue
                 self._install(sim, code, cluster,
                               output.path_result.forwarding_tables[code],
                               plans_by_region[code])
             self._rebind_sessions(output, now)
+
+        if self.regional_config is not None and partitioned:
+            # Degraded mode runs AFTER the global epoch so the regional
+            # tables (merged over whatever the global plane managed to
+            # land outside the partition) are what the checkpoint and
+            # the next measurement tick observe.
+            self._partition_tick(sim, partitioned)
 
         if (self.resilience is not None and self.resilience.checkpoint_enabled
                 and self._epoch_seq
@@ -434,7 +555,23 @@ class EventDrivenXRON:
             _TEL.flush_stream(now)
 
     def _rebind_sessions(self, output: ControlOutput, now: float) -> None:
-        """Re-bind tracked sessions to this epoch's stream ids."""
+        """Re-bind tracked sessions to this epoch's stream ids.
+
+        While a partition is active and regional control is armed, the
+        pairs living entirely inside an active partition are OWNED by
+        the partition's sub-controller: the global plane cannot program
+        their gateways anyway, so binding them to global stream ids the
+        severed tables never learn would only manufacture blackholes.
+        They rejoin global binding the epoch after heal — counted as a
+        heal flap when that moves them off a regional stream id."""
+        owned: frozenset = frozenset()
+        if self._regional:
+            active = (self._injector.partition_regions(now)
+                      if self._injector is not None else frozenset())
+            owned = frozenset(pair for pair in self.sessions
+                              if pair[0] in active and pair[1] in active)
+        base = (self.regional_config.stream_id_base
+                if self.regional_config is not None else None)
         best: Dict[RegionPair, Tuple[int, float]] = {}
         for a in output.path_result.assignments:
             key = (a.stream.src, a.stream.dst)
@@ -442,12 +579,17 @@ class EventDrivenXRON:
                     key not in best or a.mbps > best[key][1]):
                 best[key] = (a.stream.stream_id, a.mbps)
         for pair in self.sessions:
+            if pair in owned:
+                continue
             new_sid = best[pair][0] if pair in best else None
-            if _TEL.enabled and new_sid != self._session_stream[pair]:
+            old_sid = self._session_stream[pair]
+            if (base is not None and old_sid is not None and old_sid >= base
+                    and (new_sid is None or new_sid < base)):
+                self._partition_counters.heal_flaps += 1
+            if _TEL.enabled and new_sid != old_sid:
                 _TEL.counter("eventsim.session_rebinds").inc()
                 _TEL.event("path_decision", t=now, src=pair[0], dst=pair[1],
-                           stream=new_sid,
-                           previous_stream=self._session_stream[pair])
+                           stream=new_sid, previous_stream=old_sid)
             self._session_stream[pair] = new_sid
 
     def _perform_restart(self, sim: Simulator) -> None:
@@ -463,6 +605,10 @@ class EventDrivenXRON:
         self.controller = self._make_controller()
         if self._injector is not None:
             self.controller.nib.fault_filter = self._injector.filter_report
+        if self._membership is not None:
+            # Soft state dies with the process: the replacement rebuilds
+            # liveness from the refresh stream (boot grace until then).
+            self._membership.reset()
         if warm:
             Checkpoint.loads(self._checkpoint_json).restore(self.controller)
             self._res_counters.restores_warm += 1
@@ -589,6 +735,8 @@ class EventDrivenXRON:
         if not self._installer.is_current(version):
             return  # superseded by a newer epoch's update
         now = sim.now
+        partitioned = (self._injector.partition_regions(now)
+                       if self._injector is not None else frozenset())
         tables = output.path_result.forwarding_tables
         delivered_t: Dict[str, Dict[int, Tuple[str, LinkType]]] = {}
         delivered_p: Dict[str, Dict[int, Tuple[str, ...]]] = {}
@@ -596,6 +744,14 @@ class EventDrivenXRON:
         for code, cluster in self.clusters.items():
             entries = tables[code]
             plans = plans_by_region[code]
+            if partitioned and code in partitioned:
+                # Severed: the push never crosses the partition edge, so
+                # the install-fault seams are moot.  The controller still
+                # validates its full proposed update (its *belief* about
+                # the topology); only the commit stops at the edge.
+                delivered_t[code] = entries
+                delivered_p[code] = plans
+                continue
             if self._injector is not None:
                 keep = self._injector.install_keep_fraction(code, now)
                 if keep < 1.0:
@@ -639,12 +795,30 @@ class EventDrivenXRON:
                                  self._installer.backoff_delay(attempt),
                                  reason="rejected")
             return
-        # Phase 2: commit everywhere with the same version.
+        # Phase 2: commit everywhere with the same version — "everywhere"
+        # being every region the controller can actually reach.  A
+        # severed region keeps riding its last-installed tables (or its
+        # sub-controller's) until heal, when the fenced version of the
+        # first post-heal commit supersedes them.
         for code, cluster in self.clusters.items():
+            if partitioned and code in partitioned:
+                self._sever_install(code)
+                continue
             self._install_seq[code] = self._epoch_seq
             cluster.install(delivered_t[code], delivered_p[code],
                             version=version, now=now)
         self._installer.mark_committed(version, now)
+        if (self._partition_counters is not None
+                and self._reconverge_epoch0 is not None):
+            # First global commit after a heal: the fenced version just
+            # superseded the regional tables everywhere it reached.
+            epochs = self._epoch_seq - self._reconverge_epoch0
+            self._partition_counters.reconvergence_epochs += epochs
+            self._reconverge_epoch0 = None
+            if _TEL.enabled:
+                _TEL.counter("partition.reconciliations").inc()
+                _TEL.event("partition_reconciled", t=now, version=version,
+                           epochs=epochs)
         if _TEL.enabled:
             _TEL.counter("resilience.installs_committed").inc()
             latency = self._installer.last_commit_latency_s
@@ -684,6 +858,199 @@ class EventDrivenXRON:
             lambda: self._attempt_install(sim, output, plans_by_region,
                                           streams, version, attempt + 1),
             priority=0)
+
+    # ------------------------------------------------- partition tolerance
+    def _sever_install(self, code: str) -> None:
+        """Count one install push stopped at a partition edge."""
+        self._injector.counters.installs_severed += 1
+        if _TEL.enabled:
+            _TEL.counter("fault.installs_severed").inc()
+
+    def _partition_tick(self, sim: Simulator, partitioned) -> None:
+        """Run degraded-mode control for every active partition."""
+        now = sim.now
+        for spec in self._injector.active_partitions(now):
+            sub = self._regional.get(spec.regions)
+            if sub is None:
+                # Overlapping windows over intersecting region sets are
+                # not supported: the first partition to claim a region
+                # keeps it (two sub-controllers must never race installs
+                # into the same cluster).
+                claimed = set()
+                for key in self._regional:
+                    claimed.update(key)
+                if claimed & set(spec.regions):
+                    continue
+                sub = self._activate_regional(sim, spec)
+            self._regional_epoch(sim, sub)
+
+    def _activate_regional(self, sim: Simulator,
+                           spec: FaultSpec) -> RegionalController:
+        """Spin up a sub-controller inside a freshly severed partition.
+
+        It is seeded from the global controller's last-known NIB view of
+        the intra-partition links and allocates install versions above
+        the last globally committed version, so its tables supersede the
+        stale global rows locally — and nothing else."""
+        now = sim.now
+        sub = RegionalController(
+            spec.regions,
+            control_config=self.control_config,
+            pricing=self.underlay.pricing,
+            sib_params=self._sib_params,
+            base_version=self._installer.committed_version,
+            config=self.regional_config,
+            seed=self.sim_config.seed,
+            nib_reports=self.controller.nib.export_reports(),
+            symmetric_only=self.variant.symmetric_only,
+            premium_only=not self.variant.internet_allowed,
+            internet_only=not self.variant.premium_allowed)
+        self._regional[sub.regions] = sub
+        self._partition_counters.partitions_started += 1
+        if _TEL.enabled:
+            _TEL.counter("partition.activations").inc()
+            _TEL.event("partition_onset", t=now, regions=list(sub.regions),
+                       base_version=sub.base_version,
+                       fault_id=self._injector.fault_id(spec))
+        return sub
+
+    def _regional_epoch(self, sim: Simulator,
+                        sub: RegionalController) -> None:
+        """One degraded-mode control epoch inside a partition.
+
+        The sub-controller computes paths for intra-partition demand
+        only, the update is validated against the same routing
+        invariants as a global install (over the partition's clusters),
+        and regional rows are merged OVER the global-band rows so
+        cross-partition streams keep their last-good tables."""
+        now = sim.now
+        counters = self._partition_counters
+        matrix = sub.restrict_matrix(TrafficMatrix.from_model(
+            self.demand, now, self.sim_config.demand_scale))
+        ready = {code: max(1, self.pools[code].ready_count(now))
+                 for code in sub.regions}
+        output = sub.run_epoch(now, matrix, ready)
+        counters.regional_epochs += 1
+        if _TEL.enabled:
+            _TEL.counter("partition.regional_epochs").inc()
+            _TEL.event("partition_regional_epoch", t=now,
+                       regions=list(sub.regions), epoch=sub.epochs_run)
+        plans_by_region: Dict[str, Dict[int, Tuple[str, ...]]] = {
+            code: {} for code in sub.regions}
+        for (sid, region), plan in output.reaction_plans.items():
+            plans_by_region[region][sid] = plan.relay_regions
+        seen = set()
+        streams: List[Tuple[int, str, str]] = []
+        for a in output.path_result.assignments:
+            key = (a.stream.stream_id, a.stream.src, a.stream.dst)
+            if key not in seen:
+                seen.add(key)
+                streams.append(key)
+        tables = output.path_result.forwarding_tables
+        violations = self._installer.validate(
+            tables, plans_by_region,
+            {code: self.clusters[code].size for code in sub.regions},
+            streams)
+        if violations:
+            # No retries: a degraded-mode controller proposes afresh
+            # next epoch; the partition keeps riding its current tables.
+            counters.regional_installs_rejected += 1
+            if _TEL.enabled:
+                _TEL.counter("partition.installs_rejected").inc()
+                _TEL.event("partition_regional_rejected", t=now,
+                           regions=list(sub.regions),
+                           violation_count=len(violations),
+                           violations=[str(v) for v in violations[:5]])
+            return
+        version = sub.next_version()
+        base = self.regional_config.stream_id_base
+        for code in sub.regions:
+            cluster = self.clusters[code]
+            merged = {sid: entry
+                      for sid, entry in cluster.current_entries().items()
+                      if sid < base}
+            merged.update(tables[code])
+            merged_plans = {sid: plan
+                            for sid, plan in cluster.current_plans().items()
+                            if sid < base}
+            merged_plans.update(plans_by_region[code])
+            if self._injector is not None:
+                # Intra-partition pushes still honor the install-delay
+                # seam — the heal race in miniature: a delayed regional
+                # install landing after the heal's fenced global commit
+                # loses at the gateways' version guard.
+                delay_spec = self._injector.install_delay_spec(code, now)
+                delay = delay_spec.delay_s if delay_spec is not None else 0.0
+                if delay > 0.0:
+                    self._injector.counters.installs_delayed += 1
+                    if _TEL.enabled:
+                        _TEL.counter("fault.installs_delayed").inc()
+                        _TEL.event(
+                            "fault_install_delayed", t=now, region=code,
+                            delay_s=delay,
+                            fault_id=self._injector.fault_id(delay_spec))
+                    sim.schedule(
+                        delay,
+                        lambda c=cluster, e=merged, p=merged_plans,
+                        v=version, t=now + delay: c.install(
+                            e, p, version=v, now=t),
+                        priority=0)
+                    continue
+            cluster.install(merged, merged_plans, version=version, now=now)
+        counters.regional_installs_committed += 1
+        if _TEL.enabled:
+            _TEL.counter("partition.installs_committed").inc()
+            _TEL.event("partition_regional_commit", t=now,
+                       regions=list(sub.regions), version=version,
+                       rows=sum(len(tables[c]) for c in sub.regions))
+        # Bind intra-partition tracked sessions to regional stream ids.
+        best: Dict[RegionPair, Tuple[int, float]] = {}
+        for a in output.path_result.assignments:
+            key = (a.stream.src, a.stream.dst)
+            if key in self.sessions and (
+                    key not in best or a.mbps > best[key][1]):
+                best[key] = (a.stream.stream_id, a.mbps)
+        for pair in sorted(best):
+            new_sid = best[pair][0]
+            if self._session_stream[pair] != new_sid:
+                counters.regional_rebinds += 1
+                if _TEL.enabled:
+                    _TEL.counter("eventsim.session_rebinds").inc()
+                    _TEL.event("path_decision", t=now, src=pair[0],
+                               dst=pair[1], stream=new_sid,
+                               previous_stream=self._session_stream[pair],
+                               regional=True)
+                self._session_stream[pair] = new_sid
+
+    def _reconcile_healed(self, sim: Simulator, now: float) -> None:
+        """Retire sub-controllers whose partition window has closed.
+
+        The fence: the global installer's proposed-version counter jumps
+        to the highest version any healed sub-controller allocated, so
+        the next global two-phase install carries a strictly newer
+        version and supersedes every regional table everywhere-or-
+        nowhere — while any still-in-flight regional install (delayed
+        push) is discarded by the gateways' version guard."""
+        active = {spec.regions
+                  for spec in self._injector.active_partitions(now)
+                  } if self._injector is not None else set()
+        counters = self._partition_counters
+        for key in sorted(self._regional):
+            if key in active:
+                continue
+            sub = self._regional.pop(key)
+            counters.partitions_healed += 1
+            fence = max(self._installer.proposed_version, sub.version_high)
+            if fence > self._installer.proposed_version:
+                self._installer.proposed_version = fence
+                counters.reconcile_fences += 1
+            self._reconverge_epoch0 = self._epoch_seq
+            if _TEL.enabled:
+                _TEL.counter("partition.heals").inc()
+                _TEL.event("partition_heal", t=now, regions=list(key),
+                           fenced_version=fence,
+                           regional_epochs=sub.epochs_run)
+            sub.close()
 
     def _make_load_fn(self, code: str):
         """Per-region provisioning-storm hook for a `ContainerPool`."""

@@ -333,39 +333,64 @@ def health_sample() -> Dict[str, Any]:
 # --------------------------------------------------------------------------
 # Soak chaos schedule
 # --------------------------------------------------------------------------
-#: One rotation of the soak chaos pattern: (builder, duration) pairs
-#: cycled deterministically across the run and the region list.
+#: One soak-rotation builder per fault kind: (start_s, region,
+#: all_regions) -> FaultSpec.  Keyed on the `FaultKind` taxonomy itself
+#: so a kind added to the enum without a builder here fails LOUDLY (the
+#: rotation lookup raises KeyError) instead of silently never soaking.
+_SOAK_BUILDERS: Dict["fault_spec.FaultKind", Any] = {
+    fault_spec.FaultKind.GATEWAY_CRASH:
+        lambda t, r, rs: fault_spec.gateway_crash(t, 60.0, r, count=1),
+    fault_spec.FaultKind.PROBE_BLACKOUT:
+        lambda t, r, rs: fault_spec.probe_blackout(t, 90.0, region=r),
+    fault_spec.FaultKind.REPORT_DROP:
+        lambda t, r, rs: fault_spec.report_drop(t, 60.0, region=r),
+    fault_spec.FaultKind.REPORT_STALENESS:
+        lambda t, r, rs: fault_spec.report_staleness(t, 60.0, 30.0, region=r),
+    fault_spec.FaultKind.INSTALL_DELAY:
+        lambda t, r, rs: fault_spec.install_delay(t, 60.0, 5.0, region=r),
+    fault_spec.FaultKind.INSTALL_PARTIAL:
+        lambda t, r, rs: fault_spec.install_partial(t, 60.0, 0.5, region=r),
+    fault_spec.FaultKind.PLATFORM_LOAD:
+        lambda t, r, rs: fault_spec.platform_load(t, 120.0, 3.0, region=r),
+    fault_spec.FaultKind.CONTROLLER_OUTAGE:
+        lambda t, r, rs: fault_spec.controller_outage(t, t + 90.0),
+    # A partition needs a region SET: the rotation region plus its
+    # successor, so multi-region partitions get soaked too.
+    fault_spec.FaultKind.CONTROL_PARTITION:
+        lambda t, r, rs: fault_spec.control_partition(
+            t, 90.0, sorted({r, rs[(rs.index(r) + 1) % len(rs)]})),
+    fault_spec.FaultKind.MEMBERSHIP_CHURN:
+        lambda t, r, rs: fault_spec.membership_churn(t, 90.0, region=r),
+}
+
+
 def build_soak_schedule(start_s: float, duration_s: float,
                         regions: List[str], *,
                         period_s: float = 600.0,
                         lead_s: float = 120.0) -> FaultSchedule:
     """A deterministic rotating chaos schedule for soak runs.
 
-    Every `period_s` one fault fires, cycling through the taxonomy
-    (crashes, blackouts, report loss/staleness, install delay/partial,
-    provisioning storms, controller outages) and rotating the target
-    region.  Pure data — no RNG — so the same window always produces
-    the same schedule and a restored run can rebuild it exactly.
+    Every `period_s` one fault fires, cycling through the *entire*
+    `FaultKind` taxonomy in enum order (crashes, blackouts, report
+    loss/staleness, install delay/partial, provisioning storms,
+    controller outages, control partitions, membership churn) and
+    rotating the target region.  The rotation is derived from the
+    taxonomy, not a hand-kept list, so new fault kinds join the soak
+    automatically — and a kind without a `_SOAK_BUILDERS` entry raises
+    instead of silently never firing.  Pure data — no RNG — so the same
+    window always produces the same schedule and a restored run can
+    rebuild it exactly.
     """
     if not regions:
         raise ValueError("need at least one region")
-    makers = [
-        lambda t, r: fault_spec.gateway_crash(t, 60.0, r, count=1),
-        lambda t, r: fault_spec.probe_blackout(t, 90.0, region=r),
-        lambda t, r: fault_spec.report_drop(t, 60.0, region=r),
-        lambda t, r: fault_spec.install_delay(t, 60.0, 5.0, region=r),
-        lambda t, r: fault_spec.install_partial(t, 60.0, 0.5, region=r),
-        lambda t, r: fault_spec.platform_load(t, 120.0, 3.0, region=r),
-        lambda t, r: fault_spec.report_staleness(t, 60.0, 30.0, region=r),
-        lambda t, r: fault_spec.controller_outage(t, t + 90.0),
-    ]
+    kinds = list(fault_spec.FaultKind)
     specs: List[FaultSpec] = []
     k = 0
     t = start_s + lead_s
     while t + 180.0 <= start_s + duration_s:
-        maker = makers[k % len(makers)]
+        kind = kinds[k % len(kinds)]
         region = regions[k % len(regions)]
-        specs.append(maker(t, region))
+        specs.append(_SOAK_BUILDERS[kind](t, region, regions))
         k += 1
         t += period_s
     return FaultSchedule.of(*specs)
@@ -642,7 +667,12 @@ class XRONService:
             fault_counters=(sys_._injector.counters.as_dict()
                             if sys_._injector is not None else None),
             resilience_counters=(sys_._res_counters.as_dict()
-                                 if sys_._res_counters is not None else None))
+                                 if sys_._res_counters is not None else None),
+            membership_counters=(sys_._membership.counters.as_dict()
+                                 if sys_._membership is not None else None),
+            partition_counters=(sys_._partition_counters.as_dict()
+                                if sys_._partition_counters is not None
+                                else None))
 
     # ------------------------------------------------------------ checkpoint
     def _write_envelope(self, now: float) -> Path:

@@ -139,6 +139,10 @@ _REGISTRY: List[ExperimentSpec] = [
                    quick_kwargs={"flap_events": 3, "post_epochs": 5},
                    full_kwargs={"flap_events": 8, "post_epochs": 8},
                    tags=("evaluation", "robustness", "fast")),
+    ExperimentSpec("partition", _EXP + "partition",
+                   quick_kwargs={"partition_epochs": 4, "post_epochs": 3},
+                   full_kwargs={"partition_epochs": 8, "post_epochs": 6},
+                   tags=("evaluation", "robustness", "fast")),
 ]
 
 _BY_NAME: Dict[str, ExperimentSpec] = {s.name: s for s in _REGISTRY}

@@ -24,8 +24,9 @@ fixed schedule reproduces identical results run over run.  See
 
 from repro.faults.runtime import FaultCounters, FaultInjector, truncate_install
 from repro.faults.spec import (FaultKind, FaultSchedule, FaultSpec,
-                               controller_outage, gateway_crash,
-                               install_delay, install_partial, platform_load,
+                               control_partition, controller_outage,
+                               gateway_crash, install_delay, install_partial,
+                               membership_churn, platform_load,
                                probe_blackout, report_drop, report_staleness)
 
 __all__ = [
@@ -33,5 +34,5 @@ __all__ = [
     "FaultInjector", "FaultCounters", "truncate_install",
     "gateway_crash", "probe_blackout", "report_drop", "report_staleness",
     "install_delay", "install_partial", "platform_load",
-    "controller_outage",
+    "controller_outage", "control_partition", "membership_churn",
 ]

@@ -40,12 +40,43 @@ class FaultCounters:
     installs_truncated: int = 0
     load_spikes_applied: int = 0
     epochs_skipped: int = 0
+    #: control_partition: NIB reports that never reached the global
+    #: controller because their source region was severed.
+    reports_severed: int = 0
+    #: control_partition: global installs that stopped at the partition
+    #: edge (one per severed region per install round).
+    installs_severed: int = 0
+    #: membership_churn: soft-state liveness refreshes suppressed.
+    refreshes_churned: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
 
     def total(self) -> int:
         return sum(self.__dict__.values())
+
+    def by_kind(self) -> Dict[str, int]:
+        """Cumulative effect counts re-keyed by `FaultKind` value.
+
+        The health JSON a soak run emits reports fault pressure per
+        taxonomy kind; this folds the effect-named counters onto the
+        kind that caused them (crash + restart both belong to
+        ``gateway_crash``).
+        """
+        return {
+            FaultKind.GATEWAY_CRASH.value:
+                self.gateways_crashed + self.gateways_restarted,
+            FaultKind.PROBE_BLACKOUT.value: self.probes_blacked_out,
+            FaultKind.REPORT_DROP.value: self.reports_dropped,
+            FaultKind.REPORT_STALENESS.value: self.reports_staled,
+            FaultKind.INSTALL_DELAY.value: self.installs_delayed,
+            FaultKind.INSTALL_PARTIAL.value: self.installs_truncated,
+            FaultKind.PLATFORM_LOAD.value: self.load_spikes_applied,
+            FaultKind.CONTROLLER_OUTAGE.value: self.epochs_skipped,
+            FaultKind.CONTROL_PARTITION.value:
+                self.reports_severed + self.installs_severed,
+            FaultKind.MEMBERSHIP_CHURN.value: self.refreshes_churned,
+        }
 
 
 class FaultInjector:
@@ -209,6 +240,38 @@ class FaultInjector:
     def crash_windows(self) -> List[FaultSpec]:
         """Gateway-crash specs, for the simulator to put on its queue."""
         return list(self._by_kind[FaultKind.GATEWAY_CRASH])
+
+    # ------------------------------------------------------------- partitions
+    def active_partitions(self, now: float) -> List[FaultSpec]:
+        """Every control-partition window covering `now`, schedule order."""
+        return [spec
+                for spec in self._by_kind[FaultKind.CONTROL_PARTITION]
+                if spec.active(now)]
+
+    def partition_regions(self, now: float) -> frozenset:
+        """The union of regions currently severed from the controller."""
+        severed: set = set()
+        for spec in self._by_kind[FaultKind.CONTROL_PARTITION]:
+            if spec.active(now):
+                severed.update(spec.regions)
+        return frozenset(severed)
+
+    # ------------------------------------------------------------- membership
+    def membership_churn(self, region: str, now: float) -> Optional[FaultSpec]:
+        """The churn spec suppressing this region's refresh, if any.
+
+        Probabilistic suppression (``probability < 1``) draws from the
+        dedicated faults RNG stream — a draw happens only when a
+        matching window is active, so schedules without churn never
+        perturb the stream.
+        """
+        for spec in self._by_kind[FaultKind.MEMBERSHIP_CHURN]:
+            if spec.active(now) and spec.matches_region(region):
+                if spec.probability >= 1.0 or (
+                        self._rng is not None
+                        and self._rng.random() < spec.probability):
+                    return spec
+        return None
 
 
 def truncate_install(entries: Dict[int, Tuple[str, LinkType]],

@@ -40,6 +40,20 @@ kind                    effect while active
                         the data plane serves on stale tables with only
                         local fast reaction (generalizes the legacy
                         ``controller_outage`` tuple).
+``control_partition``   the named `regions` set cannot exchange probe
+                        reports or table installs with the global
+                        controller: its NIB view of the set ages and its
+                        installs stop at the partition edge.  With
+                        regional sub-controllers armed
+                        (`repro.controlplane.regional`) a degraded-mode
+                        controller keeps intra-partition path control
+                        running until heal.
+``membership_churn``    soft-state membership refreshes from `region`
+                        are suppressed with `probability`
+                        (`repro.controlplane.membership`): TTL expiry
+                        demotes the region's gateways out of global
+                        path control even though they are alive.  A
+                        no-op when membership is disarmed.
 ======================  ==================================================
 """
 
@@ -66,6 +80,8 @@ class FaultKind(str, Enum):
     INSTALL_PARTIAL = "install_partial"
     PLATFORM_LOAD = "platform_load"
     CONTROLLER_OUTAGE = "controller_outage"
+    CONTROL_PARTITION = "control_partition"
+    MEMBERSHIP_CHURN = "membership_churn"
 
 
 #: Kinds whose target is a region (``region=None`` means every region).
@@ -73,7 +89,7 @@ _REGION_SCOPED = frozenset({
     FaultKind.GATEWAY_CRASH, FaultKind.PROBE_BLACKOUT,
     FaultKind.REPORT_DROP, FaultKind.REPORT_STALENESS,
     FaultKind.INSTALL_DELAY, FaultKind.INSTALL_PARTIAL,
-    FaultKind.PLATFORM_LOAD,
+    FaultKind.PLATFORM_LOAD, FaultKind.MEMBERSHIP_CHURN,
 })
 
 
@@ -105,10 +121,16 @@ class FaultSpec:
     keep_fraction: float = 1.0
     #: platform_load: shared-procedure slowdown factor (>= 1).
     load: float = 1.0
+    #: control_partition: the region set severed from the global
+    #: controller (stored sorted, so equal sets compare equal).
+    regions: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.kind, FaultKind):
             object.__setattr__(self, "kind", FaultKind(self.kind))
+        if not isinstance(self.regions, tuple):
+            object.__setattr__(self, "regions", tuple(self.regions))
+        object.__setattr__(self, "regions", tuple(sorted(self.regions)))
         if self.link_type is not None and not isinstance(self.link_type,
                                                          LinkType):
             object.__setattr__(self, "link_type", LinkType(self.link_type))
@@ -138,6 +160,23 @@ class FaultSpec:
         if (self.kind is FaultKind.CONTROLLER_OUTAGE
                 and not math.isfinite(self.duration_s)):
             raise ValueError("controller outages need a finite duration")
+        if self.kind is FaultKind.CONTROL_PARTITION:
+            if not math.isfinite(self.duration_s):
+                raise ValueError("control partitions need a finite duration")
+            if not self.regions:
+                raise ValueError(
+                    "control partitions need a non-empty region set")
+            if len(set(self.regions)) != len(self.regions):
+                raise ValueError(
+                    f"partition region set repeats a region: {self.regions}")
+        elif self.regions:
+            raise ValueError(
+                f"regions= is only meaningful for control_partition, "
+                f"got it on {self.kind.value}")
+        if self.kind is FaultKind.MEMBERSHIP_CHURN and not (
+                0.0 < self.probability <= 1.0):
+            raise ValueError(
+                f"probability must be in (0, 1], got {self.probability}")
 
     # -------------------------------------------------------------- queries
     @property
@@ -156,10 +195,18 @@ class FaultSpec:
                 and (self.dst is None or self.dst == dst)
                 and (self.link_type is None or self.link_type is link_type))
 
+    def severs(self, region: str) -> bool:
+        """control_partition: whether `region` is inside the severed set."""
+        return region in self.regions
+
     # ------------------------------------------------------------------ json
     def to_json(self) -> Dict[str, object]:
         doc = asdict(self)
         doc["kind"] = self.kind.value
+        # Lists, not tuples: a doc that round-tripped through a JSON
+        # file must compare equal to one built in memory (envelope
+        # schedule checks rely on it).
+        doc["regions"] = list(self.regions)
         if self.link_type is not None:
             doc["link_type"] = self.link_type.value
         if math.isinf(self.duration_s):
@@ -340,9 +387,24 @@ def controller_outage(start_s: float, end_s: float) -> FaultSpec:
                      end_s - start_s)
 
 
+def control_partition(start_s: float, duration_s: float,
+                      regions: Iterable[str]) -> FaultSpec:
+    """`regions` cannot reach the global controller during the window."""
+    return FaultSpec(FaultKind.CONTROL_PARTITION, start_s, duration_s,
+                     regions=tuple(regions))
+
+
+def membership_churn(start_s: float, duration_s: float,
+                     region: Optional[str] = None,
+                     probability: float = 1.0) -> FaultSpec:
+    """Membership liveness refreshes from `region` are suppressed."""
+    return FaultSpec(FaultKind.MEMBERSHIP_CHURN, start_s, duration_s,
+                     region=region, probability=probability)
+
+
 __all__ = [
     "FaultKind", "FaultSpec", "FaultSchedule",
     "gateway_crash", "probe_blackout", "report_drop", "report_staleness",
     "install_delay", "install_partial", "platform_load",
-    "controller_outage",
+    "controller_outage", "control_partition", "membership_churn",
 ]

@@ -49,6 +49,8 @@ KINDS = (
     "fault_install_partial",    # an install landed truncated (stale rows ride)
     "fault_platform_load",      # a provisioning storm inflated startup delays
     "fault_controller_outage",  # schedule-driven outage skipped an epoch
+    "fault_control_partition",  # a partition severed regions from the controller
+    "fault_membership_churn",   # a churn window suppressed liveness refreshes
     # Safe-update & recovery layer (`repro.resilience`); emitted only
     # when the layer is armed, so default runs never carry these.
     "resilience_install_rejected",   # an update failed invariant validation
@@ -63,6 +65,18 @@ KINDS = (
     # engine is armed, so default runs never carry these.
     "slo_breach",                    # a stream's burn rate crossed its target
     "slo_recovered",                 # the burn rate fell back under hysteresis
+    # Partition tolerance (`repro.controlplane.membership` /
+    # `repro.controlplane.regional`); emitted only when those
+    # subsystems are armed, so default runs never carry these.
+    "membership_join",            # a gateway (re)entered the live soft state
+    "membership_expired",         # a TTL expiry removed a liveness entry
+    "membership_region_demoted",  # a known region had zero live gateways
+    "partition_onset",            # a sub-controller took over a severed set
+    "partition_regional_epoch",   # one degraded-mode control epoch ran
+    "partition_regional_commit",  # a validated regional install landed
+    "partition_regional_rejected",  # a regional update failed invariants
+    "partition_heal",             # a severed set rejoined; versions fenced
+    "partition_reconciled",       # the post-heal global commit superseded all
 )
 
 

@@ -1,0 +1,95 @@
+"""Tests for the soft-state gateway membership table."""
+
+import pytest
+
+from repro.controlplane.membership import (MembershipConfig, MembershipTable,
+                                           membership)
+
+
+def _table(ttl_s=3.0):
+    return MembershipTable(MembershipConfig(enabled=True, ttl_s=ttl_s))
+
+
+class TestConfig:
+    def test_disabled_by_default(self):
+        assert not MembershipConfig().enabled
+
+    def test_convenience_constructor_arms(self):
+        config = membership(ttl_s=5.0)
+        assert config.enabled
+        assert config.ttl_s == 5.0
+
+    @pytest.mark.parametrize("ttl", [0.0, -1.0])
+    def test_ttl_must_be_positive(self, ttl):
+        with pytest.raises(ValueError):
+            MembershipConfig(enabled=True, ttl_s=ttl)
+
+    def test_table_refuses_disabled_config(self):
+        with pytest.raises(ValueError, match="enabled"):
+            MembershipTable(MembershipConfig())
+
+
+class TestRefreshExpiry:
+    def test_refresh_counts_joins_once_per_gateway(self):
+        table = _table()
+        table.refresh("HGH", [1, 2], now=0.0)
+        table.refresh("HGH", [1, 2], now=1.0)
+        assert table.counters.joins == 2
+        assert table.counters.refreshes == 4
+        assert table.size == 2
+        assert table.alive_count("HGH") == 2
+
+    def test_entries_expire_strictly_after_ttl(self):
+        table = _table(ttl_s=3.0)
+        table.refresh("HGH", [1], now=0.0)
+        assert table.expire(3.0) == []          # exactly at TTL: still live
+        assert table.expire(3.1) == [("HGH", 1)]
+        assert table.size == 0
+        assert table.counters.expiries == 1
+
+    def test_expiry_keeps_the_region_known(self):
+        table = _table()
+        table.refresh("HGH", [1], now=0.0)
+        table.expire(10.0)
+        assert table.known("HGH")
+        assert table.alive_count("HGH") == 0
+
+    def test_rejoin_after_expiry_counts_a_fresh_join(self):
+        table = _table()
+        table.refresh("HGH", [1], now=0.0)
+        table.expire(10.0)
+        table.refresh("HGH", [1], now=10.0)
+        assert table.counters.joins == 2
+
+
+class TestClamp:
+    def test_never_seen_region_keeps_configured_capacity(self):
+        table = _table()
+        assert table.clamp({"HGH": 4}) == {"HGH": 4}
+        assert table.counters.regions_demoted == 0
+
+    def test_known_but_expired_region_demotes_to_zero(self):
+        table = _table()
+        table.refresh("HGH", [1, 2], now=0.0)
+        table.expire(10.0)
+        assert table.clamp({"HGH": 4, "SIN": 3}, now=10.0) == {
+            "HGH": 0, "SIN": 3}
+        assert table.counters.regions_demoted == 1
+
+    def test_live_region_clamps_to_alive_count(self):
+        table = _table()
+        table.refresh("HGH", [1, 2], now=0.0)
+        assert table.clamp({"HGH": 4}) == {"HGH": 2}
+        assert table.clamp({"HGH": 1}) == {"HGH": 1}
+
+
+class TestReset:
+    def test_reset_drops_soft_state_but_keeps_counters(self):
+        table = _table()
+        table.refresh("HGH", [1], now=0.0)
+        table.reset()
+        assert table.size == 0
+        assert not table.known("HGH")
+        assert table.counters.joins == 1
+        # Back to boot grace: the configured count rides again.
+        assert table.clamp({"HGH": 4}) == {"HGH": 4}

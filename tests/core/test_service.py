@@ -323,3 +323,39 @@ def test_build_soak_schedule_is_deterministic_and_sorted():
 def test_build_soak_schedule_requires_regions():
     with pytest.raises(ValueError):
         build_soak_schedule(0.0, 3600.0, [])
+
+
+def test_soak_rotation_covers_the_entire_fault_taxonomy():
+    """The rotation is derived from `FaultKind`: every kind has a
+    builder, and a window long enough for one full rotation fires every
+    kind exactly once, in enum order."""
+    from repro.core.service import _SOAK_BUILDERS
+
+    assert set(_SOAK_BUILDERS) == set(fault_spec.FaultKind)
+    codes = ["HGH", "SIN", "FRA"]
+    n = len(fault_spec.FaultKind)
+    schedule = build_soak_schedule(0.0, 120.0 + (n - 1) * 600.0 + 180.0,
+                                   codes)
+    assert [s.kind for s in schedule.specs] == list(fault_spec.FaultKind)
+
+
+def test_soak_partition_slot_severs_a_multi_region_set():
+    codes = ["HGH", "SIN", "FRA"]
+    schedule = build_soak_schedule(0.0, 2 * 10 * 600.0, codes)
+    partitions = [s for s in schedule.specs
+                  if s.kind is fault_spec.FaultKind.CONTROL_PARTITION]
+    assert partitions
+    for spec in partitions:
+        assert len(spec.regions) == 2
+        assert set(spec.regions) <= set(codes)
+
+
+def test_soak_rotation_first_slots_are_stable():
+    """Short chaos windows (CI's 30-minute soak) must keep firing the
+    same leading kinds the pre-taxonomy rotation fired."""
+    schedule = build_soak_schedule(0.0, 1800.0, ["HGH", "SIN"])
+    assert [s.kind for s in schedule.specs] == [
+        fault_spec.FaultKind.GATEWAY_CRASH,
+        fault_spec.FaultKind.PROBE_BLACKOUT,
+        fault_spec.FaultKind.REPORT_DROP,
+    ]

@@ -1,0 +1,32 @@
+"""Byte-identity: the partition-tolerance layer is invisible when off.
+
+Every configuration in `tests.resilience.partition_golden.CONFIGS` is
+re-run and its canonical-output digest compared against the fixture
+captured BEFORE the membership/regional code existed.  Any drift —
+an extra RNG draw, a reordered event, a new field with a non-zero
+default — fails here first.
+
+Regenerate the fixture (only when intentionally changing baseline
+behavior) with::
+
+    PYTHONPATH=src python tests/resilience/partition_golden.py --write
+"""
+
+import json
+
+import pytest
+
+from tests.resilience.partition_golden import CONFIGS, FIXTURE, digest
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.mark.parametrize("name", [name for name, *_ in CONFIGS])
+def test_disabled_run_matches_pre_partition_golden(name, golden):
+    assert digest(name) == golden[name], (
+        f"configuration {name!r} drifted from the pre-partition golden "
+        "digest: the disabled partition-tolerance layer must be "
+        "byte-invisible")
